@@ -1,0 +1,288 @@
+// Command copasim regenerates the COPA paper's tables and figures on the
+// simulated testbed and prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	copasim -fig 11                # one figure
+//	copasim -fig all -topologies 30
+//	copasim -fig headlines         # the §1 claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"copa/internal/channel"
+	"copa/internal/strategy"
+	"copa/internal/testbed"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
+	seed := flag.Int64("seed", 1, "master seed (same seed → same testbed)")
+	topologies := flag.Int("topologies", 30, "number of topologies per scenario")
+	skipPlus := flag.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
+	outDir := flag.String("out", "", "directory to also write CSV data files into")
+	flag.Parse()
+	csvDir = *outDir
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", title(name))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("2", func() error { printFigure2(*seed); return nil })
+	run("3", func() error { printFigure3(*seed, *topologies); return nil })
+	run("4", func() error { printFigure4(*seed); return nil })
+	run("table1", func() error { printTable1(); return nil })
+	run("7", func() error { printFigure7(*seed); return nil })
+	run("9", func() error { printFigure9(*seed, *topologies); return nil })
+	run("10", func() error {
+		return printScenario("Figure 10 (1x1)", channel.Scenario1x1, *seed, *topologies, 0, *skipPlus)
+	})
+	run("11", func() error {
+		return printScenario("Figure 11 (4x2)", channel.Scenario4x2, *seed, *topologies, 0, *skipPlus)
+	})
+	run("12", func() error {
+		return printScenario("Figure 12 (4x2, interference −10 dB)", channel.Scenario4x2, *seed, *topologies, -10, *skipPlus)
+	})
+	run("13", func() error {
+		return printScenario("Figure 13 (3x2)", channel.Scenario3x2, *seed, *topologies, 0, *skipPlus)
+	})
+	run("14", func() error { return printFigure14(*seed, *topologies) })
+	run("headlines", func() error { return printHeadlines(*seed, *topologies) })
+	run("accuracy", func() error { return printAccuracy(*seed, *topologies) })
+	run("backlog", func() error { return printBacklog(*seed) })
+}
+
+// csvDir, when non-empty, receives CSV exports of every figure printed.
+var csvDir string
+
+func maybeExport(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+	}
+}
+
+func title(name string) string {
+	switch name {
+	case "table1":
+		return "Table 1: MAC overhead"
+	case "headlines":
+		return "Headline claims (§1)"
+	case "accuracy":
+		return "Strategy prediction accuracy (§3.3)"
+	case "backlog":
+		return "Backlog drain (§3.5)"
+	default:
+		return "Figure " + name
+	}
+}
+
+func printFigure2(seed int64) {
+	f := testbed.RunFigure2(seed)
+	if csvDir != "" {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	fmt.Println("subcarrier  ant1(dBm)  ant2(dBm)")
+	for k := range f.PowerDBm[0] {
+		fmt.Printf("%10d  %9.1f  %9.1f\n", k, f.PowerDBm[0][k], f.PowerDBm[1][k])
+	}
+}
+
+func printFigure3(seed int64, topologies int) {
+	f := testbed.RunFigure3(seed, topologies)
+	if csvDir != "" {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	fmt.Printf("INR reduction : %+6.1f dB (σ %.1f)   [paper: ≈−27 dB]\n", f.INRReductionMeanDB, f.INRReductionStdDB)
+	fmt.Printf("SNR reduction : %+6.1f dB (σ %.1f)   [paper: ≈−8 dB]\n", f.SNRReductionMeanDB, f.SNRReductionStdDB)
+	fmt.Printf("SINR increase : %+6.1f dB (σ %.1f)   [paper: ≈+18 dB]\n", f.SINRIncreaseMeanDB, f.SINRIncreaseStdDB)
+}
+
+func printFigure4(seed int64) {
+	f := testbed.RunFigure4(seed)
+	if csvDir != "" {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	fmt.Println("subcarrier  SNR-BF  SNR-Null  SINR-Null  (dB)")
+	for k := range f.SNRBFDB {
+		fmt.Printf("%10d  %6.1f  %8.1f  %9.1f\n", k, f.SNRBFDB[k], f.SNRNullDB[k], f.SINRNullDB[k])
+	}
+}
+
+func printTable1() {
+	rows := testbed.Table1()
+	if csvDir != "" {
+		maybeExport(testbed.ExportTable1CSV(csvDir))
+	}
+	fmt.Println("coherence   COPA-Conc  COPA-Seq  CSMA-CTS  CSMA-RTS/CTS   (% of TXOP)")
+	for _, r := range rows {
+		fmt.Printf("%9s   %8.1f%%  %7.1f%%  %7.1f%%  %11.1f%%\n",
+			r.Coherence, r.COPAConc*100, r.COPASeq*100, r.CSMACTS*100, r.CSMARTS*100)
+	}
+	fmt.Println("paper @4ms: 9.3 / 7.7 / 2.7 / 3.7 · @30ms: 5.1 / 3.5 · @1000ms: 4.5 / 2.8")
+}
+
+func printFigure7(seed int64) {
+	f := testbed.RunFigure7(seed)
+	if csvDir != "" && len(f.BERCOPA) > 0 {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	if len(f.BERCOPA) == 0 {
+		fmt.Println("(nulling infeasible on this draw; try another seed)")
+		return
+	}
+	fmt.Printf("COPA: %s → %.1f Mb/s   NoPA: %s → %.1f Mb/s\n", f.COPAMCS, f.COPAMbps, f.NoPAMCS, f.NoPAMbps)
+	fmt.Println("subcarrier  BER-COPA     BER-NoPA     dropped")
+	for k := range f.BERCOPA {
+		mark := ""
+		if f.Dropped[k] {
+			mark = "×"
+		}
+		fmt.Printf("%10d  %11.3e  %11.3e  %s\n", k, f.BERCOPA[k], f.BERNoPA[k], mark)
+	}
+}
+
+func printFigure9(seed int64, topologies int) {
+	f := testbed.RunFigure9(seed, topologies)
+	if csvDir != "" {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	fmt.Println("signal(dBm)  interference(dBm)")
+	for i := range f.SignalDBm {
+		fmt.Printf("%11.1f  %17.1f\n", f.SignalDBm[i], f.InterferenceDBm[i])
+	}
+}
+
+func printScenario(name string, sc channel.Scenario, seed int64, topologies int, deltaDB float64, skipPlus bool) error {
+	cfg := testbed.DefaultConfig(seed)
+	cfg.Topologies = topologies
+	cfg.InterferenceDeltaDB = deltaDB
+	cfg.SkipCOPAPlus = skipPlus
+	res, err := testbed.RunScenario(sc, cfg)
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		slug := fmt.Sprintf("fig_%s_%+.0fdB.csv", sc.Name, deltaDB)
+		if deltaDB == 0 {
+			slug = fmt.Sprintf("fig_%s.csv", sc.Name)
+		}
+		maybeExport(res.ExportCSV(csvDir, slug))
+	}
+	fmt.Printf("%s — mean aggregate throughput over %d topologies\n", name, topologies)
+	for _, scheme := range testbed.AllSchemes {
+		vals, ok := res.PerTopology[scheme]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-10s  mean %6.1f Mb/s   p10 %6.1f   median %6.1f   p90 %6.1f\n",
+			scheme, testbed.Mean(vals)/1e6, testbed.Percentile(vals, 10)/1e6,
+			testbed.Median(vals)/1e6, testbed.Percentile(vals, 90)/1e6)
+	}
+	return nil
+}
+
+func printFigure14(seed int64, topologies int) error {
+	f, err := testbed.RunFigure14(seed, topologies)
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		maybeExport(f.ExportCSV(csvDir))
+	}
+	fmt.Printf("%-22s", "scheme \\ scenario")
+	for _, sc := range []string{"1x1", "4x2", "3x2"} {
+		fmt.Printf("  %6s", sc)
+	}
+	fmt.Println(" (% over 1-decoder CSMA)")
+	for _, scheme := range testbed.Figure14Schemes {
+		fmt.Printf("%-22s", scheme)
+		for _, sc := range []string{"1x1", "4x2", "3x2"} {
+			fmt.Printf("  %+5.1f%%", f.Improvement[sc][scheme])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printAccuracy(seed int64, topologies int) error {
+	acc, err := testbed.RunPredictionAccuracy(seed, topologies)
+	if err != nil {
+		return err
+	}
+	fmt.Println("mean |predicted − realized| / realized, per strategy:")
+	for _, k := range []strategy.Kind{strategy.KindCSMA, strategy.KindCOPASeq, strategy.KindNull, strategy.KindConcBF, strategy.KindConcNull} {
+		if mae, ok := acc.MAEByKind[k]; ok {
+			fmt.Printf("  %-9v  MAE %5.1f%%   bias %+5.1f%%\n", k, mae*100, acc.BiasByKind[k]*100)
+		}
+	}
+	fmt.Printf("mispicked strategy on %.0f%% of topologies, costing %.0f%% each\n",
+		acc.MispickRate*100, acc.MispickCostMean*100)
+	return nil
+}
+
+func printBacklog(seed int64) error {
+	fmt.Println("worst-client mean frame delay (ms) vs per-client offered load:")
+	fmt.Printf("  %-10s", "scheme")
+	loads := []float64{20e6, 40e6, 55e6, 70e6}
+	for _, l := range loads {
+		fmt.Printf("  %5.0fM", l/1e6)
+	}
+	fmt.Println()
+	rows := []struct {
+		name string
+		get  func(testbed.BacklogComparison) [2]float64
+	}{
+		{"CSMA", func(c testbed.BacklogComparison) [2]float64 { return c.CSMADelaySec }},
+		{"COPA", func(c testbed.BacklogComparison) [2]float64 { return c.COPADelaySec }},
+		{"COPA fair", func(c testbed.BacklogComparison) [2]float64 { return c.COPAFairDelaySec }},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-10s", r.name)
+		for _, l := range loads {
+			cmp, err := testbed.RunBacklogComparison(seed, l, 2500)
+			if err != nil {
+				return err
+			}
+			d := r.get(cmp)
+			worst := d[0]
+			if d[1] > worst {
+				worst = d[1]
+			}
+			if worst > 1e6 {
+				fmt.Printf("  %6s", "inf")
+			} else {
+				fmt.Printf("  %6.1f", worst*1e3)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func printHeadlines(seed int64, topologies int) error {
+	cfg := testbed.DefaultConfig(seed)
+	cfg.Topologies = topologies
+	cfg.SkipCOPAPlus = true
+	res, err := testbed.RunScenario(channel.Scenario4x2, cfg)
+	if err != nil {
+		return err
+	}
+	hs := testbed.Headlines(res)
+	fmt.Printf("Null loses to CSMA           : %5.1f%%  [paper: 83%%]\n", hs.NullLosesToCSMA*100)
+	fmt.Printf("COPA over Null (where loses) : %+5.1f%%  [paper: +64%%]\n", hs.COPAOverNullWhereNullLoses*100)
+	fmt.Printf("COPA beats CSMA (same set)   : %5.1f%%  [paper: 76%%]\n", hs.COPABeatsCSMAWhereNullLoses*100)
+	fmt.Printf("Null win median (where wins) : %+5.1f%%  [paper: +12%%]\n", hs.NullWinMedian*100)
+	fmt.Printf("COPA win median (same set)   : %+5.1f%%  [paper: +45%%]\n", hs.COPAWinMedianWhereNullWins*100)
+	fmt.Printf("price of fairness            : %5.1f%%  [paper: ≈3–6%%]\n", hs.PriceOfFairness*100)
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package copa is a simulator-backed reproduction of COPA — CoOperative
+// Power Allocation for interfering wireless networks (CoNEXT 2015).
+//
+// COPA lets two Wi-Fi APs owned by different parties coordinate over the
+// air: they exchange channel state in ITS control frames, null toward one
+// another's clients, and cooperatively allocate per-subcarrier transmit
+// power — dropping hopeless subcarriers outright — so that concurrent
+// transmission beats taking turns.
+//
+// The package re-exports the user-facing surface of the internal
+// implementation:
+//
+//   - topology & channel generation (the simulated indoor testbed),
+//   - the strategy evaluator (CSMA / COPA-SEQ / nulling / concurrent
+//     variants, max and incentive-compatible selection),
+//   - the power allocators (Equi-SNR, Equi-SINR, mercury/water-filling),
+//   - the over-the-air ITS protocol between two AP instances,
+//   - the experiment harness that regenerates every figure and table in
+//     the paper's evaluation.
+//
+// See the examples/ directory for runnable walk-throughs and cmd/copasim
+// for the full evaluation CLI.
+package copa
+
+import (
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/core"
+	"copa/internal/csi"
+	"copa/internal/mac"
+	"copa/internal/power"
+	"copa/internal/precoding"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+	"copa/internal/testbed"
+)
+
+// Rand is the deterministic, splittable random source every simulator
+// component draws from; the same seed always reproduces the same world.
+type Rand = rng.Source
+
+// NewRand returns a seeded random source.
+func NewRand(seed int64) *Rand { return rng.New(seed) }
+
+// Scenario is an antenna configuration (1x1, 4x2, 3x2).
+type Scenario = channel.Scenario
+
+// The paper's three evaluation scenarios.
+var (
+	Scenario1x1 = channel.Scenario1x1
+	Scenario4x2 = channel.Scenario4x2
+	Scenario3x2 = channel.Scenario3x2
+)
+
+// Deployment is one concrete two-AP/two-client topology with all its
+// frequency-selective channels.
+type Deployment = channel.Deployment
+
+// Link is a frequency-selective MIMO channel.
+type Link = channel.Link
+
+// Impairments model the radio hardware (CSI error, TX EVM, staleness).
+type Impairments = channel.Impairments
+
+// DefaultImpairments returns the WARP-class calibration used throughout
+// the paper reproduction.
+func DefaultImpairments() Impairments { return channel.DefaultImpairments() }
+
+// PerfectHardware disables all impairments (idealized nulling).
+func PerfectHardware() Impairments { return channel.PerfectHardware() }
+
+// NewDeployment draws one topology for a scenario from the given seed.
+func NewDeployment(seed int64, sc Scenario) *Deployment {
+	return channel.NewDeployment(rng.New(seed), sc)
+}
+
+// GenerateTestbed draws a deterministic population of topologies.
+func GenerateTestbed(seed int64, sc Scenario, n int) []*Deployment {
+	return channel.GenerateTestbed(seed, sc, n)
+}
+
+// Strategy kinds and selection modes.
+type (
+	// StrategyKind identifies a medium-access strategy (CSMA, COPA-SEQ,
+	// vanilla nulling, concurrent beamforming, concurrent nulling).
+	StrategyKind = strategy.Kind
+	// Mode selects between throughput-maximizing and incentive-compatible
+	// ("fair") strategy choice.
+	Mode = strategy.Mode
+	// Outcome is one strategy's evaluation on one topology.
+	Outcome = strategy.Outcome
+	// Evaluator runs every strategy on a topology.
+	Evaluator = strategy.Evaluator
+)
+
+// Strategy kind and mode constants.
+const (
+	KindCSMA     = strategy.KindCSMA
+	KindCOPASeq  = strategy.KindCOPASeq
+	KindNull     = strategy.KindNull
+	KindConcBF   = strategy.KindConcBF
+	KindConcNull = strategy.KindConcNull
+
+	ModeMax  = strategy.ModeMax
+	ModeFair = strategy.ModeFair
+)
+
+// NewEvaluator builds an evaluator for a deployment: CSI is estimated
+// with the impairment model, then every strategy can be scored on both
+// the estimates (what an AP would predict) and the true channels.
+func NewEvaluator(dep *Deployment, imp Impairments, seed int64) *Evaluator {
+	return strategy.NewEvaluator(dep, imp, rng.New(seed))
+}
+
+// Select applies COPA's decision rule over evaluated outcomes.
+func Select(mode Mode, outcomes map[StrategyKind]Outcome) Outcome {
+	return strategy.Select(mode, outcomes)
+}
+
+// AP-level protocol types: COPA APs exchanging real ITS frames.
+type (
+	// AP is a COPA access point with its CSI cache and strategy policy.
+	AP = core.AP
+	// Pair wires two APs to a physical deployment for simulation.
+	Pair = core.Pair
+	// Session is the result of one ITS exchange.
+	Session = core.Session
+	// Cluster simulates >2 APs sharing the medium (§3.1 fairness).
+	Cluster = core.Cluster
+	// ClusterStats aggregates cluster rounds.
+	ClusterStats = core.ClusterStats
+	// ScheduleConfig drives a time-domain simulation with drifting
+	// channels and periodic CSI refresh.
+	ScheduleConfig = core.ScheduleConfig
+	// ScheduleResult summarizes a schedule run.
+	ScheduleResult = core.ScheduleResult
+	// MultiDeployment is an n-pair topology for cluster simulations.
+	MultiDeployment = channel.MultiDeployment
+)
+
+// NewPair builds two COPA APs on a deployment.
+func NewPair(dep *Deployment, imp Impairments, coherence time.Duration, mode Mode, seed int64) *Pair {
+	return core.NewPair(dep, imp, coherence, mode, rng.New(seed))
+}
+
+// NewMultiDeployment draws n AP/client pairs on the office floor.
+func NewMultiDeployment(seed int64, sc Scenario, n int) (*MultiDeployment, error) {
+	return channel.NewMultiDeployment(rng.New(seed), sc, n)
+}
+
+// NewCluster builds n COPA APs over a multi-pair deployment.
+func NewCluster(dep *MultiDeployment, imp Impairments, coherence time.Duration, mode Mode, seed int64) *Cluster {
+	return core.NewCluster(dep, imp, coherence, mode, rng.New(seed))
+}
+
+// Power allocation API.
+type (
+	// Allocation is a per-subcarrier power assignment for one stream.
+	Allocation = power.Allocation
+	// AllocConfig parameterizes the Equi-SINR iteration.
+	AllocConfig = power.Config
+)
+
+// Power allocators (see internal/power for details).
+var (
+	// EquiSNR is Algorithm 1: drop the worst subcarriers, equalize the
+	// rest, keep the throughput-maximizing drop count.
+	EquiSNR = power.EquiSNR
+	// Waterfill is classic Gaussian-input waterfilling.
+	Waterfill = power.Waterfill
+	// MercuryWaterfill is the discrete-constellation optimum.
+	MercuryWaterfill = power.MercuryWaterfill
+	// MercuryBest picks the best constellation's mercury/WF allocation.
+	MercuryBest = power.MercuryBest
+)
+
+// Precoding API.
+type (
+	// Precoder holds per-subcarrier precoding matrices.
+	Precoder = precoding.Precoder
+	// Transmission couples a precoder with a power allocation.
+	Transmission = precoding.Transmission
+)
+
+// Precoder builders.
+var (
+	// Beamforming builds SVD transmit beamforming toward a client.
+	Beamforming = precoding.Beamforming
+	// Nulling beamforms within the nullspace of the victim's channel.
+	Nulling = precoding.Nulling
+)
+
+// ErrOverconstrained is returned when nulling lacks spatial degrees of
+// freedom (§3.4); shut-down-antenna rank reduction is the remedy.
+var ErrOverconstrained = precoding.ErrOverconstrained
+
+// CSI compression (adaptive delta modulation + DEFLATE).
+var (
+	// EncodeCSI compresses a channel estimate for an ITS REQ payload.
+	EncodeCSI = csi.EncodeLink
+	// DecodeCSI reverses EncodeCSI.
+	DecodeCSI = csi.DecodeLink
+)
+
+// MAC layer: ITS frames, overheads, contention.
+type (
+	// OverheadModel computes Table 1's MAC overhead fractions.
+	OverheadModel = mac.OverheadModel
+	// DCF is the multi-station contention simulator.
+	DCF = mac.DCF
+)
+
+// DefaultOverheadModel mirrors the paper's 4×2 setting.
+func DefaultOverheadModel() OverheadModel { return mac.DefaultOverheadModel() }
+
+// Experiment harness: regenerate the paper's evaluation.
+type (
+	// ExperimentConfig parameterizes a scenario run.
+	ExperimentConfig = testbed.Config
+	// ScenarioResult holds per-topology throughputs per scheme.
+	ScenarioResult = testbed.ScenarioResult
+)
+
+// Scheme names as used in the paper's figure legends.
+const (
+	SchemeCSMA     = testbed.SchemeCSMA
+	SchemeCOPASeq  = testbed.SchemeCOPASeq
+	SchemeNull     = testbed.SchemeNull
+	SchemeCOPAFair = testbed.SchemeCOPAFair
+	SchemeCOPA     = testbed.SchemeCOPA
+	SchemeCOPAPF   = testbed.SchemeCOPAPF
+	SchemeCOPAP    = testbed.SchemeCOPAP
+)
+
+// Statistics helpers for working with scenario results.
+var (
+	// Mean, Median, Percentile and CDF summarize per-topology data.
+	Mean       = testbed.Mean
+	Median     = testbed.Median
+	Percentile = testbed.Percentile
+	CDF        = testbed.CDF
+)
+
+// CoherenceTime returns tc = m·λ/v for a host speed in m/s (§3.1).
+var CoherenceTime = channel.CoherenceTime
+
+// NullingDOF returns how many streams a sender can transmit while nulling
+// at a victim's antennas (§3.4).
+var NullingDOF = precoding.NullingDOF
+
+// Experiment entry points (one per paper artifact).
+var (
+	// RunScenario evaluates all schemes over a topology population
+	// (Figs. 10–13 with the appropriate scenario and interference).
+	RunScenario = testbed.RunScenario
+	// DefaultExperimentConfig mirrors the paper: 30 topologies.
+	DefaultExperimentConfig = testbed.DefaultConfig
+	// Headlines computes the §1 claims from a 4×2 run.
+	Headlines = testbed.Headlines
+	// RunFigure2 .. RunFigure14 regenerate the micro-measurements.
+	RunFigure2  = testbed.RunFigure2
+	RunFigure3  = testbed.RunFigure3
+	RunFigure4  = testbed.RunFigure4
+	RunFigure7  = testbed.RunFigure7
+	RunFigure9  = testbed.RunFigure9
+	RunFigure14 = testbed.RunFigure14
+	// Table1 computes the MAC overhead table.
+	Table1 = testbed.Table1
+)

@@ -1,0 +1,76 @@
+// Overconstrained nulling walk-through (§3.4): two 3-antenna APs with
+// 2-antenna clients cannot both send two streams and null completely —
+// the nullspace is one dimension short. COPA's remedy is to shut down one
+// receive antenna (SDA) at the follower's client, restoring enough
+// degrees of freedom. This example shows the failure, the fix, and the
+// resulting strategy decision.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"copa"
+)
+
+func main() {
+	src := copa.NewRand(5)
+	dep := copa.NewDeployment(5, copa.Scenario3x2)
+	imp := copa.DefaultImpairments()
+	fmt.Printf("topology: %s\n\n", dep)
+
+	est22 := imp.EstimateCSI(src.Split(2), dep.H[1][1]) // AP2 → its client
+	est21 := imp.EstimateCSI(src.Split(3), dep.H[1][0]) // AP2 → other client
+
+	// Attempt the full-rank configuration: 2 streams while nulling at
+	// both antennas of the other client. 3 TX antennas − 2 victim
+	// antennas leave a 1-dimensional nullspace: overconstrained.
+	_, err := copa.Nulling(est22, est21, 2)
+	switch {
+	case errors.Is(err, copa.ErrOverconstrained):
+		fmt.Println("full-rank nulling: OVERCONSTRAINED (as §3.4 predicts)")
+		fmt.Printf("  %v\n\n", err)
+	case err == nil:
+		log.Fatal("unexpectedly feasible — the cross channel must be rank-deficient")
+	default:
+		log.Fatal(err)
+	}
+
+	// One stream fits inside the 1-dim nullspace…
+	if _, err := copa.Nulling(est22, est21, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1 stream + full nulling: feasible (but halves AP2's rate)")
+
+	// …and SDA restores 2-stream operation for the *leader* while the
+	// follower sends 1 stream: shut the victim's weaker antenna.
+	reduced := est21.WithoutRxAntenna(1)
+	if _, err := copa.Nulling(est22, reduced, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2 streams, nulling at the client's remaining antenna after SDA: feasible")
+	fmt.Printf("  nullspace grew from %d to %d dimensions\n\n",
+		copa.NullingDOF(3, 2), copa.NullingDOF(3, 1))
+
+	// Let the full evaluator work through the strategies and decide.
+	ev := copa.NewEvaluator(dep, imp, 11)
+	outs, err := ev.EvaluateAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("strategy evaluation (aggregate, measured on true channels):")
+	for _, k := range []copa.StrategyKind{copa.KindCSMA, copa.KindCOPASeq, copa.KindNull, copa.KindConcBF, copa.KindConcNull} {
+		o, ok := outs[k]
+		if !ok {
+			continue
+		}
+		sda := ""
+		if o.SDA {
+			sda = "  (antenna shut down)"
+		}
+		fmt.Printf("  %-9v %6.1f Mb/s%s\n", k, o.Aggregate()/1e6, sda)
+	}
+	choice := copa.Select(copa.ModeFair, outs)
+	fmt.Printf("\nCOPA fair picks: %v → %.1f Mb/s aggregate\n", choice.Kind, choice.Aggregate()/1e6)
+}

@@ -1,0 +1,3 @@
+module copa
+
+go 1.22

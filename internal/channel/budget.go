@@ -1,0 +1,31 @@
+package channel
+
+import "copa/internal/ofdm"
+
+// NoisePerSubcarrierMW returns the receiver noise power per data
+// subcarrier in milliwatts, taking the full-channel noise floor as spread
+// evenly over the data subcarriers.
+func NoisePerSubcarrierMW() float64 {
+	return DBmToMilliwatts(NoiseFloorDBm) / ofdm.NumSubcarriers
+}
+
+// TxBudgetPerSubcarrierMW returns the nominal per-subcarrier transmit
+// power in milliwatts when the total budget is split equally, which is how
+// status-quo Wi-Fi senders operate (§2).
+func TxBudgetPerSubcarrierMW() float64 {
+	return DBmToMilliwatts(MaxTxPowerDBm) / ofdm.NumSubcarriers
+}
+
+// TotalTxBudgetMW returns one RF chain's transmit power in milliwatts.
+func TotalTxBudgetMW() float64 { return DBmToMilliwatts(MaxTxPowerDBm) }
+
+// BudgetForAntennasMW returns a sender's total transmit power: each RF
+// chain has its own MaxTxPowerDBm power amplifier, so the budget scales
+// with the antenna count (§4.3: "the power budget with four antennas is
+// 4x higher than in the [single-antenna] scenario").
+func BudgetForAntennasMW(nAntennas int) float64 {
+	if nAntennas < 1 {
+		nAntennas = 1
+	}
+	return float64(nAntennas) * DBmToMilliwatts(MaxTxPowerDBm)
+}

@@ -1,0 +1,48 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"copa/internal/rng"
+)
+
+func TestMeasureCoherenceTimeMatchesModel(t *testing.T) {
+	// The Gauss–Markov evolution decorrelates with exp(−t/tc); the 1/e
+	// crossing should land near the configured tc.
+	for _, tc := range []float64{0.020, 0.050, 0.200} {
+		var sum float64
+		const trials = 6
+		for trial := 0; trial < trials; trial++ {
+			src := rng.New(int64(100*tc*1000) + int64(trial))
+			link := NewLink(src.Split(1), 2, 4, 1)
+			got := MeasureCoherenceTime(src.Split(2), link, tc, tc/20, 200)
+			sum += got
+		}
+		mean := sum / trials
+		if math.Abs(mean-tc)/tc > 0.35 {
+			t.Errorf("tc=%.0f ms: measured %.1f ms (>35%% off)", tc*1e3, mean*1e3)
+		}
+	}
+}
+
+func TestMeasureCoherenceTimeStatic(t *testing.T) {
+	src := rng.New(9)
+	link := NewLink(src.Split(1), 1, 1, 1)
+	got := MeasureCoherenceTime(src.Split(2), link, math.Inf(1), 0.010, 50)
+	if !math.IsInf(got, 1) {
+		t.Errorf("static channel measured tc=%g", got)
+	}
+}
+
+func TestMeasureCoherenceTimeZeroChannel(t *testing.T) {
+	link := &Link{Subcarriers: NewLink(rng.New(1), 1, 1, 1).Subcarriers}
+	for _, h := range link.Subcarriers {
+		for i := range h.Data {
+			h.Data[i] = 0
+		}
+	}
+	if !math.IsInf(MeasureCoherenceTime(rng.New(2), link, 0.05, 0.01, 10), 1) {
+		t.Error("zero channel should report +Inf")
+	}
+}

@@ -1,0 +1,54 @@
+package channel
+
+import "math"
+
+// Path-loss model parameters for an indoor office at 2.4 GHz: log-distance
+// with exponent 3.0 beyond a 1 m reference, ~40 dB reference loss, light
+// internal walls every few metres, and log-normal shadowing.
+const (
+	// referenceLossDB is the free-space path loss at 1 m, 2.4 GHz.
+	referenceLossDB = 40.0
+
+	// pathLossExponent for an indoor office with partitions.
+	pathLossExponent = 3.0
+
+	// wallEveryMetres approximates the density of internal partitions:
+	// one wall per this many metres of separation.
+	wallEveryMetres = 6.0
+
+	// wallLossDB is the attenuation per internal wall.
+	wallLossDB = 4.0
+
+	// maxWalls caps the wall count on any path.
+	maxWalls = 3
+
+	// shadowingSigmaDB is the standard deviation of log-normal shadowing.
+	shadowingSigmaDB = 4.0
+)
+
+// Point is a position on the office floor plan, in metres.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// PathLossDB returns the deterministic path loss in dB between two points:
+// log-distance loss plus wall attenuation (shadowing is added separately
+// by the topology generator so it can be drawn reproducibly per link).
+func PathLossDB(a, b Point) float64 {
+	d := a.Distance(b)
+	if d < 1 {
+		d = 1
+	}
+	walls := math.Min(math.Floor(d/wallEveryMetres), maxWalls)
+	return referenceLossDB + 10*pathLossExponent*math.Log10(d) + walls*wallLossDB
+}
+
+// ReceivedPowerDBm returns the average received power for a transmit power
+// txDBm over a path with loss plDB and shadowing shadowDB (positive
+// shadowDB means deeper shadow, i.e. less received power).
+func ReceivedPowerDBm(txDBm, plDB, shadowDB float64) float64 {
+	return txDBm - plDB - shadowDB
+}

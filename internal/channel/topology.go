@@ -1,0 +1,186 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"copa/internal/rng"
+)
+
+// Scenario names an antenna configuration from the paper's evaluation.
+type Scenario struct {
+	Name           string
+	APAntennas     int
+	ClientAntennas int
+	// Streams is the number of MIMO streams each AP sends to its client
+	// when not otherwise constrained (min of client antennas and what
+	// the AP can support).
+	Streams int
+}
+
+// The three scenarios of §4.
+var (
+	// Scenario1x1: two single-antenna APs, two single-antenna clients.
+	Scenario1x1 = Scenario{Name: "1x1", APAntennas: 1, ClientAntennas: 1, Streams: 1}
+
+	// Scenario4x2: the "constrained" case — four-antenna APs can send
+	// two streams each and still null at both antennas of the other
+	// client.
+	Scenario4x2 = Scenario{Name: "4x2", APAntennas: 4, ClientAntennas: 2, Streams: 2}
+
+	// Scenario3x2: the "overconstrained" case — three-antenna APs lack
+	// the degrees of freedom to send two streams and null completely.
+	Scenario3x2 = Scenario{Name: "3x2", APAntennas: 3, ClientAntennas: 2, Streams: 2}
+)
+
+// Office floor-plan dimensions (metres), mirroring the paper's mix of
+// open-plan space, offices and corridors.
+const (
+	floorWidth  = 40.0
+	floorHeight = 25.0
+
+	minClientDist = 1.5  // shortest AP→own-client link
+	maxClientDist = 13.0 // longest AP→own-client link
+	minAPSep      = 4.0  // APs are in different homes/offices
+	maxAPSep      = 15.0
+)
+
+// Deployment is one concrete topology: two AP/client pairs with all four
+// AP→client channels, the AP→AP channel, and the bookkeeping needed to
+// reproduce the paper's per-topology statistics.
+type Deployment struct {
+	Scenario Scenario
+
+	// Node positions on the floor plan.
+	AP     [2]Point
+	Client [2]Point
+
+	// H[i][j] is the frequency-selective channel from AP i to client j.
+	H [2][2]*Link
+
+	// APLink is the channel between the two APs (used by the ITS
+	// exchange; both directions via reciprocity).
+	APLink *Link
+
+	// SignalDBm[j] is the mean received power at client j from its own
+	// AP; InterferenceDBm[j] the mean received power from the other AP.
+	// These are the coordinates of one point in Fig. 9.
+	SignalDBm       [2]float64
+	InterferenceDBm [2]float64
+}
+
+// String summarizes the deployment.
+func (d *Deployment) String() string {
+	return fmt.Sprintf("%s sig=[%.1f %.1f]dBm int=[%.1f %.1f]dBm",
+		d.Scenario.Name, d.SignalDBm[0], d.SignalDBm[1],
+		d.InterferenceDBm[0], d.InterferenceDBm[1])
+}
+
+// randomPointNear picks a point at distance in [lo, hi] from p, uniform in
+// angle, clamped to the floor plan.
+func randomPointNear(src *rng.Source, p Point, lo, hi float64) Point {
+	d := src.Uniform(lo, hi)
+	theta := src.Uniform(0, 2*math.Pi)
+	q := Point{p.X + d*math.Cos(theta), p.Y + d*math.Sin(theta)}
+	q.X = math.Max(0, math.Min(floorWidth, q.X))
+	q.Y = math.Max(0, math.Min(floorHeight, q.Y))
+	return q
+}
+
+// NewDeployment draws one topology for the given scenario. Placement and
+// acceptance are calibrated to the paper's methodology (§4.1): short and
+// long links both occur, and the signal of interest is usually — but not
+// always — stronger than the interference (Fig. 9's envelope).
+func NewDeployment(src *rng.Source, sc Scenario) *Deployment {
+	for attempt := 0; ; attempt++ {
+		d := &Deployment{Scenario: sc}
+		d.AP[0] = Point{src.Uniform(2, floorWidth-2), src.Uniform(2, floorHeight-2)}
+		d.Client[0] = randomPointNear(src, d.AP[0], minClientDist, maxClientDist)
+		d.AP[1] = randomPointNear(src, d.AP[0], minAPSep, maxAPSep)
+		d.Client[1] = randomPointNear(src, d.AP[1], minClientDist, maxClientDist)
+
+		// Draw per-link shadowing and compute mean received powers.
+		var shadow [2][2]float64
+		ok := true
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				shadow[i][j] = src.Norm() * shadowingSigmaDB
+				rx := ReceivedPowerDBm(MaxTxPowerDBm, PathLossDB(d.AP[i], d.Client[j]), shadow[i][j])
+				if i == j {
+					d.SignalDBm[j] = rx
+				} else {
+					d.InterferenceDBm[j] = rx
+				}
+			}
+		}
+
+		// Keep signal strengths inside the testbed's observed range.
+		for j := 0; j < 2; j++ {
+			if d.SignalDBm[j] < -70 || d.SignalDBm[j] > -30 {
+				ok = false
+			}
+			if d.InterferenceDBm[j] < -78 || d.InterferenceDBm[j] > -25 {
+				ok = false
+			}
+		}
+		// Bias toward signal > interference, without excluding the
+		// reverse entirely ("usually, but not always, closer to their
+		// own AP").
+		if ok {
+			for j := 0; j < 2; j++ {
+				if d.InterferenceDBm[j] > d.SignalDBm[j] && !src.Bool(0.45) {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			if attempt > 10000 {
+				panic("channel: topology sampler failed to converge")
+			}
+			continue
+		}
+
+		// Draw the frequency-selective channels at the chosen scales.
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				var rxDBm float64
+				if i == j {
+					rxDBm = d.SignalDBm[j]
+				} else {
+					rxDBm = d.InterferenceDBm[j]
+				}
+				gain := DBToLinear(rxDBm - MaxTxPowerDBm)
+				d.H[i][j] = NewLink(src.Split(uint64(16+i*2+j)), sc.ClientAntennas, sc.APAntennas, gain)
+			}
+		}
+		apGain := DBToLinear(-PathLossDB(d.AP[0], d.AP[1]))
+		d.APLink = NewLink(src.Split(99), sc.APAntennas, sc.APAntennas, apGain)
+		return d
+	}
+}
+
+// ScaleInterference returns a copy of the deployment with both
+// cross-channels (AP i → client j≠i) attenuated by deltaDB (negative
+// weakens interference). This reproduces the paper's Fig. 12 emulation,
+// which re-ran all 4×2 traces with interference reduced 10 dB.
+func (d *Deployment) ScaleInterference(deltaDB float64) *Deployment {
+	out := *d
+	factor := DBToLinear(deltaDB)
+	out.H[0][1] = d.H[0][1].Scale(factor)
+	out.H[1][0] = d.H[1][0].Scale(factor)
+	out.InterferenceDBm[0] = d.InterferenceDBm[0] + deltaDB
+	out.InterferenceDBm[1] = d.InterferenceDBm[1] + deltaDB
+	return &out
+}
+
+// GenerateTestbed draws n independent topologies for a scenario, seeded
+// deterministically: the same (seed, scenario, n) always yields the same
+// testbed, like re-visiting the same building.
+func GenerateTestbed(seed int64, sc Scenario, n int) []*Deployment {
+	master := rng.New(seed)
+	out := make([]*Deployment, n)
+	for i := range out {
+		out[i] = NewDeployment(master.Split(uint64(i)), sc)
+	}
+	return out
+}

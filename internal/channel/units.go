@@ -1,0 +1,72 @@
+// Package channel simulates the indoor wireless propagation environment
+// the COPA paper measures with WARP radios: frequency-selective MIMO
+// multipath channels (tapped delay line with exponential power-delay
+// profile), log-distance path loss with wall attenuation and shadowing,
+// office topology generation matching the paper's Fig. 9 envelope,
+// temporal channel evolution at a configurable coherence time, and the
+// hardware impairments (CSI estimation error, transmit EVM noise, carrier
+// leakage) that limit nulling in practice (§2.2).
+package channel
+
+import "math"
+
+// Radio and environment constants used throughout the simulator. They
+// mirror the paper's experimental setup (§4.1).
+const (
+	// MaxTxPowerDBm is the total transmit power budget per sender.
+	MaxTxPowerDBm = 15.0
+
+	// NoiseFloorDBm is the thermal noise plus receiver noise figure over
+	// the full 20 MHz channel: −174 dBm/Hz + 73 dB + 16 dB NF. The high
+	// noise figure matches WARP v2-class SDR front ends (commodity Wi-Fi
+	// silicon is nearer 7 dB); it places the testbed's post-nulling SINRs
+	// in the rate-sensitive region the paper reports (Fig. 4).
+	NoiseFloorDBm = -85.0
+
+	// CarrierFrequencyHz is the 2.4 GHz ISM band carrier.
+	CarrierFrequencyHz = 2.412e9
+
+	// LeakageFloorDB is the adjacent-carrier leakage relative to a
+	// subcarrier's nominal power: even a "dropped" subcarrier radiates
+	// this much (Maxim 2829 datasheet; §3.2).
+	LeakageFloorDB = -27.0
+)
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// Wavelength returns the carrier wavelength in metres (≈12.5 cm at 2.4 GHz).
+func Wavelength() float64 { return SpeedOfLight / CarrierFrequencyHz }
+
+// DBToLinear converts a dB ratio to a linear ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear ratio to dB. Non-positive input maps to -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// DBmToMilliwatts converts a power in dBm to milliwatts.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts a power in milliwatts to dBm.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// CoherenceTime returns the channel coherence time in seconds for a host
+// moving at speed v (m/s): tc = m·λ/v with the paper's conservative
+// m = 0.25 (§3.1). Infinite for a static environment.
+func CoherenceTime(speedMps float64) float64 {
+	if speedMps <= 0 {
+		return math.Inf(1)
+	}
+	const m = 0.25
+	return m * Wavelength() / speedMps
+}

@@ -1,0 +1,78 @@
+// Package core implements the COPA access point itself (§3): the CSI
+// cache populated by overhearing nearby transmissions, the leader/follower
+// ITS exchange carried in real marshaled control frames (with compressed
+// CSI and precoder payloads), the strategy computation the leader runs,
+// and the resulting coordinated transmission descriptors. Two APs wired to
+// an in-memory medium run the full Fig. 5 timeline.
+package core
+
+import (
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/mac"
+)
+
+// csiEntry is one cached channel observation.
+type csiEntry struct {
+	link *channel.Link
+	at   time.Duration
+}
+
+// CSICache stores channel estimates keyed by the address they were
+// overheard from (§3.1: "caches the resulting CSI in a table indexed by
+// sender address"). Entries older than the coherence time are stale and
+// are not returned.
+type CSICache struct {
+	coherence time.Duration
+	entries   map[mac.Addr]csiEntry
+}
+
+// NewCSICache returns a cache that considers entries fresh for the given
+// coherence time.
+func NewCSICache(coherence time.Duration) *CSICache {
+	return &CSICache{coherence: coherence, entries: make(map[mac.Addr]csiEntry)}
+}
+
+// Put records a fresh estimate observed at virtual time now.
+func (c *CSICache) Put(addr mac.Addr, link *channel.Link, now time.Duration) {
+	c.entries[addr] = csiEntry{link: link, at: now}
+}
+
+// Get returns the cached estimate for addr if it is still within the
+// coherence time at now.
+func (c *CSICache) Get(addr mac.Addr, now time.Duration) (*channel.Link, bool) {
+	e, ok := c.entries[addr]
+	if !ok {
+		return nil, false
+	}
+	if now-e.at > c.coherence {
+		return nil, false
+	}
+	return e.link, true
+}
+
+// Age returns how old the entry for addr is at now, and whether it exists
+// at all.
+func (c *CSICache) Age(addr mac.Addr, now time.Duration) (time.Duration, bool) {
+	e, ok := c.entries[addr]
+	if !ok {
+		return 0, false
+	}
+	return now - e.at, true
+}
+
+// Evict removes stale entries; returns how many were dropped.
+func (c *CSICache) Evict(now time.Duration) int {
+	n := 0
+	for addr, e := range c.entries {
+		if now-e.at > c.coherence {
+			delete(c.entries, addr)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached entries (fresh or stale).
+func (c *CSICache) Len() int { return len(c.entries) }

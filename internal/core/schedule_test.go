@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/strategy"
+)
+
+func TestScheduleStaticEnvironment(t *testing.T) {
+	p := newTestPair(t, 101, channel.Scenario4x2, strategy.ModeFair)
+	res, err := p.RunSchedule(ScheduleConfig{
+		Duration:        200 * time.Millisecond,
+		Coherence:       0, // static
+		RefreshInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exchanges != 4 {
+		t.Errorf("exchanges = %d, want 4", res.Exchanges)
+	}
+	if res.TXOPs != 50 {
+		t.Errorf("TXOPs = %d, want 50", res.TXOPs)
+	}
+	if res.Aggregate() <= 0 {
+		t.Error("no throughput in a static environment")
+	}
+	if res.ControlBytes <= 0 {
+		t.Error("no control traffic accounted")
+	}
+}
+
+func TestScheduleStaleCSICostsThroughput(t *testing.T) {
+	// Same fast-fading environment; refreshing once per coherence time
+	// must beat refreshing every 8 coherence times.
+	mk := func(seed int64) *Pair {
+		return newTestPair(t, seed, channel.Scenario4x2, strategy.ModeMax)
+	}
+	run := func(p *Pair, refresh time.Duration) float64 {
+		res, err := p.RunSchedule(ScheduleConfig{
+			Duration:        800 * time.Millisecond,
+			Coherence:       50 * time.Millisecond,
+			RefreshInterval: refresh,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Aggregate()
+	}
+	var fresh, stale float64
+	for seed := int64(0); seed < 3; seed++ {
+		fresh += run(mk(300+seed), 50*time.Millisecond)
+		stale += run(mk(300+seed), 800*time.Millisecond)
+	}
+	if fresh <= stale {
+		t.Errorf("stale CSI should cost throughput: fresh %.1f vs stale %.1f Mb/s",
+			fresh/3e6, stale/3e6)
+	}
+}
+
+func TestScheduleRejectsBadConfig(t *testing.T) {
+	p := newTestPair(t, 103, channel.Scenario1x1, strategy.ModeMax)
+	if _, err := p.RunSchedule(ScheduleConfig{Duration: 0}); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestScheduleConcurrentFractionBounded(t *testing.T) {
+	p := newTestPair(t, 104, channel.Scenario4x2, strategy.ModeMax)
+	res, err := p.RunSchedule(ScheduleConfig{
+		Duration:        120 * time.Millisecond,
+		Coherence:       0,
+		RefreshInterval: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConcurrentFraction < 0 || res.ConcurrentFraction > 1 {
+		t.Errorf("concurrent fraction %g", res.ConcurrentFraction)
+	}
+	if math.IsNaN(res.Aggregate()) {
+		t.Error("NaN aggregate")
+	}
+}

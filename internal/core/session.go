@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/mac"
+	"copa/internal/power"
+	"copa/internal/precoding"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+// Session is the result of one complete ITS exchange between two APs
+// (Fig. 5): the elected leader, the negotiated strategy, and the
+// transmissions both sides agreed on.
+type Session struct {
+	// LeaderIdx is the AP (0 or 1, in caller coordinates) that won
+	// contention and led the exchange.
+	LeaderIdx int
+	// Outcome is the leader's chosen strategy with predicted
+	// throughputs. Its client indices are in leader-first order.
+	Outcome strategy.Outcome
+	// Tx[i] is AP i's transmission descriptor (caller coordinates).
+	// Tx[follower] is nil for sequential decisions: the follower defers
+	// for the rest of the coherence time.
+	Tx [2]*precoding.Transmission
+	// Concurrent mirrors Outcome.Concurrent.
+	Concurrent bool
+	// ControlBytes is the total size of the three ITS frames exchanged,
+	// for overhead accounting.
+	ControlBytes int
+}
+
+// Pair wires two APs and their clients' true channels together for
+// simulation: it lets the APs "overhear" client transmissions to populate
+// their caches, then runs exchanges.
+type Pair struct {
+	AP    [2]*AP
+	Truth *channel.Deployment
+	clk   time.Duration
+	src   *rng.Source
+	imp   channel.Impairments
+}
+
+// NewPair builds two COPA APs on a deployment. Addresses are synthesized
+// from the pair's seed; both APs use the given selection mode.
+func NewPair(dep *channel.Deployment, imp channel.Impairments, coherence time.Duration, mode strategy.Mode, src *rng.Source) *Pair {
+	mk := func(b byte) mac.Addr { return mac.Addr{0x02, 0xC0, 0xFA, 0, 0, b} }
+	p := &Pair{Truth: dep, src: src, imp: imp}
+	for i := 0; i < 2; i++ {
+		p.AP[i] = NewAP(mk(byte(i)), mk(byte(0x10+i)), dep.Scenario, imp, coherence, mode)
+	}
+	return p
+}
+
+// Clock returns the pair's virtual time.
+func (p *Pair) Clock() time.Duration { return p.clk }
+
+// Advance moves virtual time forward and evolves the physical channels at
+// the given coherence time (Inf for a static environment).
+func (p *Pair) Advance(dt time.Duration, coherence float64) {
+	p.clk += dt
+	if dt <= 0 {
+		return
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			p.Truth.H[i][j].Evolve(p.src.Split(uint64(p.clk)^uint64(i*2+j)), dt.Seconds(), coherence)
+		}
+	}
+}
+
+// MeasureCSI models Step 1 of Fig. 5: both clients transmit (ACKs,
+// uplink traffic), and both APs overhear and cache reciprocal channel
+// estimates toward both clients.
+func (p *Pair) MeasureCSI() {
+	for i := 0; i < 2; i++ { // AP index
+		for j := 0; j < 2; j++ { // client index
+			// The client→AP channel is the transpose of AP→client truth;
+			// the AP measures it with estimation noise and stores the
+			// reciprocal (AP→client) link.
+			uplink := p.Truth.H[i][j].Transpose()
+			measured := p.imp.EstimateCSI(p.src.Split(uint64(0xC5)+uint64(i*2+j)+uint64(p.clk)), uplink)
+			p.AP[i].ObserveTransmission(p.AP[j].ClientAddr, measured, p.clk)
+		}
+	}
+}
+
+// RunExchange performs one full ITS exchange: contention elects a leader
+// (uniformly at random, as DCF does), then INIT → REQ → ACK flow through
+// their real wire formats. The returned session's Tx are in caller
+// coordinates (index 0 = p.AP[0]).
+func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
+	leader := p.src.Intn(2)
+	follower := 1 - leader
+	lead, fol := p.AP[leader], p.AP[follower]
+
+	initFrame := lead.BuildITSInit(airtimeUS)
+	reqFrame, err := fol.BuildITSReq(initFrame, p.clk)
+	if err != nil {
+		return nil, fmt.Errorf("follower REQ: %w", err)
+	}
+	dec, err := lead.HandleITSReq(reqFrame, p.clk)
+	if err != nil {
+		return nil, fmt.Errorf("leader decision: %w", err)
+	}
+	ack, folTx, err := fol.HandleITSAck(dec.Ack, p.clk)
+	if err != nil {
+		return nil, fmt.Errorf("follower ACK: %w", err)
+	}
+
+	s := &Session{
+		LeaderIdx:    leader,
+		Outcome:      dec.Outcome,
+		Concurrent:   ack.Decision == mac.DecideConcurrent,
+		ControlBytes: len(initFrame) + len(reqFrame) + len(dec.Ack),
+	}
+	s.Tx[leader] = dec.LeaderTx
+	// For sequential verdicts folTx is the follower's solo COPA-SEQ
+	// transmission for its own (deferred) turn.
+	s.Tx[follower] = folTx
+	return s, nil
+}
+
+// MeasuredThroughputs scores a session's transmissions on the pair's true
+// channels, returning per-client effective throughput in caller
+// coordinates (airtime share and MAC overhead included). For sequential
+// sessions each transmitting AP is scored alone at half airtime; a nil
+// follower transmission contributes zero (it defers this TXOP).
+func (p *Pair) MeasuredThroughputs(s *Session) [2]float64 {
+	noise := channel.NoisePerSubcarrierMW()
+	ovm := mac.DefaultOverheadModel()
+	var out [2]float64
+	if s.Concurrent {
+		oh := ovm.COPAConcOverhead(strategy.DefaultCoherence)
+		for j := 0; j < 2; j++ {
+			g := power.GoodputFor(p.Truth.H[j][j], s.Tx[j], p.Truth.H[1-j][j], s.Tx[1-j], noise)
+			out[j] = g * (1 - oh - mac.DataOverheadFraction)
+		}
+		return out
+	}
+	oh := ovm.COPASeqOverhead(strategy.DefaultCoherence)
+	for j := 0; j < 2; j++ {
+		if s.Tx[j] == nil {
+			continue
+		}
+		g := power.GoodputFor(p.Truth.H[j][j], s.Tx[j], nil, nil, noise)
+		out[j] = g * 0.5 * (1 - oh - mac.DataOverheadFraction)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package csi
+
+import "testing"
+
+// FuzzDecodeMatrices: arbitrary payloads must fail cleanly or decode into
+// structurally valid matrices — never panic.
+func FuzzDecodeMatrices(f *testing.F) {
+	f.Add([]byte{})
+	l := testLink(1, 2, 4)
+	good, err := EncodeLink(l)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x55
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ms, err := DecodeMatrices(data)
+		if err != nil {
+			return
+		}
+		if len(ms) == 0 {
+			t.Fatal("decoded empty series without error")
+		}
+		rows, cols := ms[0].Rows, ms[0].Cols
+		for _, m := range ms {
+			if m.Rows != rows || m.Cols != cols || len(m.Data) != rows*cols {
+				t.Fatal("decoded inconsistent shapes")
+			}
+		}
+	})
+}

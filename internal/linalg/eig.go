@@ -1,0 +1,88 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// EigHermitian computes the eigendecomposition of a Hermitian matrix
+// m = V·diag(λ)·Vᴴ via the classical two-sided Jacobi method: eigenvalues
+// in descending order, V unitary with eigenvectors as columns. Covariance
+// matrices (receive covariance, interference-plus-noise) are the intended
+// inputs; behaviour on non-Hermitian matrices is undefined.
+func (m *Matrix) EigHermitian() (eigs []float64, v *Matrix) {
+	n := m.Rows
+	if m.Cols != n {
+		panic("linalg: EigHermitian requires a square matrix")
+	}
+	a := m.Clone()
+	v = Identity(n)
+
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					s += cmplx.Abs(a.At(i, j))
+				}
+			}
+		}
+		return s
+	}
+	scale := math.Max(m.MaxAbs(), 1e-300)
+	for sweep := 0; sweep < 64 && off() > 1e-13*scale*float64(n*n); sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				g := cmplx.Abs(apq)
+				if g <= 1e-15*scale {
+					continue
+				}
+				app := real(a.At(p, p))
+				aqq := real(a.At(q, q))
+				// Phase-align then rotate, as in the one-sided SVD.
+				phase := apq / complex(g, 0)
+				zeta := (aqq - app) / (2 * g)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				cc := complex(c, 0)
+				sc := complex(s, 0) * phase
+
+				// A ← Jᴴ A J with J acting on columns/rows p, q.
+				for i := 0; i < n; i++ {
+					aip := a.At(i, p)
+					aiq := a.At(i, q)
+					a.Set(i, p, cc*aip-cmplx.Conj(sc)*aiq)
+					a.Set(i, q, sc*aip+cc*aiq)
+				}
+				for i := 0; i < n; i++ {
+					api := a.At(p, i)
+					aqi := a.At(q, i)
+					a.Set(p, i, cc*api-sc*aqi)
+					a.Set(q, i, cmplx.Conj(sc)*api+cc*aqi)
+				}
+				for i := 0; i < n; i++ {
+					vip := v.At(i, p)
+					viq := v.At(i, q)
+					v.Set(i, p, cc*vip-cmplx.Conj(sc)*viq)
+					v.Set(i, q, sc*vip+cc*viq)
+				}
+			}
+		}
+	}
+
+	eigs = make([]float64, n)
+	order := make([]int, n)
+	for i := range eigs {
+		eigs[i] = real(a.At(i, i))
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return eigs[order[i]] > eigs[order[j]] })
+	sorted := make([]float64, n)
+	for i, idx := range order {
+		sorted[i] = eigs[idx]
+	}
+	return sorted, v.ColsSlice(order...)
+}

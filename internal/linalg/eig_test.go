@@ -1,0 +1,99 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomHermitian builds H = AᴴA + shift·I (PSD) or a general Hermitian
+// A + Aᴴ.
+func randomHermitian(r *rand.Rand, n int, psd bool) *Matrix {
+	a := randomMatrix(r, n, n)
+	if psd {
+		return a.H().Mul(a)
+	}
+	return a.Add(a.H())
+}
+
+func checkEig(t *testing.T, m *Matrix) {
+	t.Helper()
+	eigs, v := m.EigHermitian()
+	n := m.Rows
+	if len(eigs) != n || v.Rows != n || v.Cols != n {
+		t.Fatal("shape wrong")
+	}
+	if !v.H().Mul(v).IsIdentity(1e-8) {
+		t.Error("V not unitary")
+	}
+	for i := 0; i < n-1; i++ {
+		if eigs[i] < eigs[i+1] {
+			t.Fatalf("eigenvalues not sorted: %v", eigs)
+		}
+	}
+	scale := math.Max(1, m.MaxAbs())
+	for i := 0; i < n; i++ {
+		av := m.MulVec(v.Col(i))
+		for r := 0; r < n; r++ {
+			want := complex(eigs[i], 0) * v.At(r, i)
+			d := av[r] - want
+			if math.Hypot(real(d), imag(d)) > 1e-7*scale {
+				t.Fatalf("A·v != λ·v for eigenpair %d (λ=%g)", i, eigs[i])
+			}
+		}
+	}
+}
+
+func TestEigHermitianKnown(t *testing.T) {
+	// diag(3, 1, -2).
+	m := FromRows([][]complex128{{3, 0, 0}, {0, 1, 0}, {0, 0, -2}})
+	eigs, _ := m.EigHermitian()
+	want := []float64{3, 1, -2}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-10 {
+			t.Errorf("eig %d = %g, want %g", i, eigs[i], want[i])
+		}
+	}
+	// 2x2 with known eigenvalues: [[2, i], [-i, 2]] → 1 and 3.
+	h := FromRows([][]complex128{{2, 1i}, {-1i, 2}})
+	eigs, _ = h.EigHermitian()
+	if math.Abs(eigs[0]-3) > 1e-10 || math.Abs(eigs[1]-1) > 1e-10 {
+		t.Errorf("eigs = %v, want [3 1]", eigs)
+	}
+}
+
+func TestEigHermitianRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		checkEig(t, randomHermitian(r, n, true))
+		checkEig(t, randomHermitian(r, n, false))
+	}
+}
+
+func TestQuickEigTraceAndReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		m := randomHermitian(r, n, false)
+		eigs, v := m.EigHermitian()
+		// Trace preserved.
+		var tr, sum float64
+		for i := 0; i < n; i++ {
+			tr += real(m.At(i, i))
+			sum += eigs[i]
+		}
+		if math.Abs(tr-sum) > 1e-8*math.Max(1, math.Abs(tr)) {
+			return false
+		}
+		// Reconstruction.
+		lam := NewMatrix(n, n)
+		for i, e := range eigs {
+			lam.Set(i, i, complex(e, 0))
+		}
+		return v.Mul(lam).Mul(v.H()).Equal(m, 1e-7*math.Max(1, m.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

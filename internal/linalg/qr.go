@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// QR computes the full QR decomposition m = Q·R via Householder
+// reflections: Q is Rows×Rows unitary and R is Rows×Cols upper
+// triangular. It provides an independent factorization used to
+// cross-check the Jacobi SVD (rank and nullspace agreement) and a cheaper
+// route to orthonormal bases.
+func (m *Matrix) QR() (q, r *Matrix) {
+	rows, cols := m.Rows, m.Cols
+	r = m.Clone()
+	q = Identity(rows)
+
+	steps := cols
+	if rows-1 < steps {
+		steps = rows - 1
+	}
+	for k := 0; k < steps; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < rows; i++ {
+			v := r.At(i, k)
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		// alpha = -e^{iθ}·‖x‖ with θ the phase of the pivot, for
+		// numerical stability.
+		pivot := r.At(k, k)
+		phase := complex(1, 0)
+		if pivot != 0 {
+			phase = pivot / complex(cmplx.Abs(pivot), 0)
+		}
+		alpha := -phase * complex(norm, 0)
+
+		// v = x − αe₁, normalized.
+		v := make([]complex128, rows-k)
+		v[0] = pivot - alpha
+		for i := k + 1; i < rows; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vnorm := Norm2(v)
+		if vnorm < 1e-300 {
+			continue
+		}
+		for i := range v {
+			v[i] /= complex(vnorm, 0)
+		}
+
+		// Apply H = I − 2vvᴴ to R (rows k..) and accumulate into Q.
+		for c := k; c < cols; c++ {
+			var dot complex128
+			for i := range v {
+				dot += cmplx.Conj(v[i]) * r.At(k+i, c)
+			}
+			dot *= 2
+			for i := range v {
+				r.Set(k+i, c, r.At(k+i, c)-dot*v[i])
+			}
+		}
+		for c := 0; c < rows; c++ {
+			var dot complex128
+			for i := range v {
+				dot += cmplx.Conj(v[i]) * q.At(k+i, c)
+			}
+			dot *= 2
+			for i := range v {
+				q.Set(k+i, c, q.At(k+i, c)-dot*v[i])
+			}
+		}
+	}
+	// We accumulated Hₙ…H₁ into q, i.e. q = Qᴴ; return Q.
+	q = q.H()
+	// Clean numerical dust below the diagonal of R.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return q, r
+}
+
+// NullspaceQR computes an orthonormal right-nullspace basis via the QR
+// decomposition of mᴴ: if mᴴ = Q·R with rank r, the last Cols−r columns
+// of Q span null(m). It agrees with Nullspace (SVD-based) up to a unitary
+// rotation of the basis, and serves as an independent cross-check.
+func (m *Matrix) NullspaceQR(tol float64) *Matrix {
+	q, r := m.H().QR()
+	// Numerical rank from R's diagonal.
+	n := m.Cols
+	k := m.Rows
+	if n < k {
+		k = n
+	}
+	var maxDiag float64
+	for i := 0; i < k; i++ {
+		if a := cmplx.Abs(r.At(i, i)); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	rank := 0
+	for i := 0; i < k; i++ {
+		if maxDiag > 0 && cmplx.Abs(r.At(i, i)) > tol*maxDiag {
+			rank++
+		}
+	}
+	idx := make([]int, 0, n-rank)
+	for c := rank; c < n; c++ {
+		idx = append(idx, c)
+	}
+	return q.ColsSlice(idx...)
+}

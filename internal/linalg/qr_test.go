@@ -1,0 +1,100 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkQR(t *testing.T, a *Matrix) {
+	t.Helper()
+	q, r := a.QR()
+	if q.Rows != a.Rows || q.Cols != a.Rows {
+		t.Fatalf("Q shape %dx%d", q.Rows, q.Cols)
+	}
+	if r.Rows != a.Rows || r.Cols != a.Cols {
+		t.Fatalf("R shape %dx%d", r.Rows, r.Cols)
+	}
+	if !q.H().Mul(q).IsIdentity(1e-9) {
+		t.Error("Q not unitary")
+	}
+	// R upper triangular.
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols && j < i; j++ {
+			if cmplx.Abs(r.At(i, j)) > 1e-10 {
+				t.Fatalf("R[%d,%d] = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+	scale := math.Max(1, a.MaxAbs())
+	if !q.Mul(r).Equal(a, 1e-9*scale) {
+		t.Error("QR != A")
+	}
+}
+
+func TestQRShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 1}, {3, 3}, {4, 2}, {2, 4}, {5, 3}, {3, 5}, {4, 4}} {
+		checkQR(t, randomMatrix(r, dims[0], dims[1]))
+	}
+}
+
+func TestQRZeroAndRankDeficient(t *testing.T) {
+	checkQR(t, NewMatrix(3, 2))
+	a := FromRows([][]complex128{
+		{1, 2, 1},
+		{2, 4, 2},
+		{1i, 2i, 1i},
+	})
+	checkQR(t, a)
+}
+
+func TestQuickQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(5), 1+r.Intn(5)
+		a := randomMatrix(r, rows, cols)
+		q, rr := a.QR()
+		scale := math.Max(1, a.MaxAbs())
+		return q.H().Mul(q).IsIdentity(1e-8) && q.Mul(rr).Equal(a, 1e-8*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNullspaceQRAgreesWithSVD(t *testing.T) {
+	// Both nullspace computations must span the same subspace: the
+	// projector N·Nᴴ must match.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + r.Intn(3)
+		cols := rows + 1 + r.Intn(3)
+		a := randomMatrix(r, rows, cols)
+		n1 := a.Nullspace(1e-10)
+		n2 := a.NullspaceQR(1e-10)
+		if n1.Cols != n2.Cols {
+			t.Fatalf("dims differ: SVD %d vs QR %d", n1.Cols, n2.Cols)
+		}
+		if a.Mul(n2).MaxAbs() > 1e-8*math.Max(1, a.MaxAbs()) {
+			t.Fatal("QR nullspace not annihilated by A")
+		}
+		p1 := n1.Mul(n1.H())
+		p2 := n2.Mul(n2.H())
+		if !p1.Equal(p2, 1e-7) {
+			t.Fatal("nullspace projectors differ between SVD and QR")
+		}
+	}
+}
+
+func BenchmarkQR4x4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomMatrix(r, 4, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.QR()
+	}
+}

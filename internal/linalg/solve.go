@@ -1,0 +1,167 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a matrix is singular (or numerically so)
+// and cannot be inverted or solved against.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// lu performs an in-place LU decomposition with partial pivoting on a copy
+// of m, returning the combined LU factors and the row permutation.
+func lu(m *Matrix) (*Matrix, []int, error) {
+	if m.Rows != m.Cols {
+		return nil, nil, errors.New("linalg: LU requires a square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the row with the largest magnitude in this column.
+		pivot, pmag := col, cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > pmag {
+				pivot, pmag = r, mag
+			}
+		}
+		if pmag == 0 {
+			return nil, nil, ErrSingular
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				a.Data[col*n+c], a.Data[pivot*n+c] = a.Data[pivot*n+c], a.Data[col*n+c]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			a.Set(r, col, f)
+			for c := col + 1; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+		}
+	}
+	return a, perm, nil
+}
+
+// Solve returns x such that m·x = b, for square m.
+func (m *Matrix) Solve(b []complex128) ([]complex128, error) {
+	if m.Rows != len(b) {
+		return nil, errors.New("linalg: Solve dimension mismatch")
+	}
+	f, perm, err := lu(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	x := make([]complex128, n)
+	// Forward substitution with permuted b (L has unit diagonal).
+	for i := 0; i < n; i++ {
+		s := b[perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution against U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.At(i, j) * x[j]
+		}
+		x[i] = s / f.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns m⁻¹ for square m.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("linalg: Inverse requires a square matrix")
+	}
+	n := m.Rows
+	f, perm, err := lu(m)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(n, n)
+	col := make([]complex128, n)
+	e := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[k] = 1
+		for i := 0; i < n; i++ {
+			s := e[perm[i]]
+			for j := 0; j < i; j++ {
+				s -= f.At(i, j) * col[j]
+			}
+			col[i] = s
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := col[i]
+			for j := i + 1; j < n; j++ {
+				s -= f.At(i, j) * col[j]
+			}
+			col[i] = s / f.At(i, i)
+		}
+		out.SetCol(k, col)
+	}
+	return out, nil
+}
+
+// Cholesky returns the lower-triangular L with m = L·Lᴴ for a Hermitian
+// positive-definite m.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * cmplx.Conj(l.At(j, k))
+			}
+			if i == j {
+				re := real(sum)
+				if re <= 0 {
+					return nil, errors.New("linalg: matrix not positive definite")
+				}
+				l.Set(i, i, complex(math.Sqrt(re), 0))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse of m, computed via
+// the SVD, discarding singular values below tol relative to the largest.
+func (m *Matrix) PseudoInverse(tol float64) *Matrix {
+	u, s, v := m.SVD()
+	// pinv = V · Σ⁺ · Uᴴ
+	var smax float64
+	for _, sv := range s {
+		if sv > smax {
+			smax = sv
+		}
+	}
+	sinv := NewMatrix(m.Cols, m.Rows) // Σ⁺ has the transposed shape of Σ
+	for i, sv := range s {
+		if smax > 0 && sv > tol*smax {
+			sinv.Set(i, i, complex(1/sv, 0))
+		}
+	}
+	return v.Mul(sinv).Mul(u.H())
+}

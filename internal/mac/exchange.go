@@ -1,0 +1,117 @@
+package mac
+
+import (
+	"time"
+
+	"copa/internal/rng"
+)
+
+// ExchangeSim models the latency of completing one ITS exchange when
+// several APs contend to send their ITS INIT (§3.1): simultaneous backoff
+// expiry garbles the colliding frames, the losers double their contention
+// windows and retry, and the exchange completes once a single INIT gets
+// through and the REQ/ACK handshake follows. This quantifies the protocol
+// cost the analytic Table 1 model summarizes with a mean backoff.
+type ExchangeSim struct {
+	// Contenders is the number of APs with traffic racing to send INIT.
+	Contenders int
+	// Model supplies the payload sizes for the REQ/ACK legs.
+	Model OverheadModel
+	// Coherence controls whether the CSI payload rides along (a refresh
+	// is due) — matches refreshFraction's amortization.
+	Coherence time.Duration
+}
+
+// ExchangeOutcome reports one simulated exchange.
+type ExchangeOutcome struct {
+	// Latency from the medium going idle to the ACK's end.
+	Latency time.Duration
+	// Collisions suffered before a clean INIT.
+	Collisions int
+}
+
+// exchangeAirtime is the INIT→REQ→ACK on-air time, including payloads if
+// a CSI refresh is due this exchange.
+func (e ExchangeSim) exchangeAirtime(withPayload bool) time.Duration {
+	t := itsInitAirtime() + SIFS +
+		FrameAirtime(48+headerBytes+trailerBytes, ControlRateBps) + SIFS +
+		FrameAirtime(49+headerBytes+trailerBytes, ControlRateBps) + SIFS
+	if withPayload {
+		t += payloadAirtime(2*e.Model.CSIBytesPerLink+e.Model.PrecoderBytes+e.Model.PowerBytes, e.Model.PayloadRateBps)
+	}
+	return t
+}
+
+// Run simulates one exchange: slotted contention among Contenders, each
+// drawing from [0, CW] with binary exponential backoff after collisions
+// (a collision costs the garbled INIT's airtime plus a DIFS before the
+// next round). The payload rides with probability refreshFraction.
+func (e ExchangeSim) Run(src *rng.Source) ExchangeOutcome {
+	n := e.Contenders
+	if n < 1 {
+		n = 1
+	}
+	cw := make([]int, n)
+	backoff := make([]int, n)
+	for i := range cw {
+		cw[i] = CWMin
+		backoff[i] = src.Intn(cw[i] + 1)
+	}
+	var latency time.Duration
+	latency += DIFS
+	collisions := 0
+	for {
+		// Advance to the earliest expiry.
+		min := backoff[0]
+		for _, b := range backoff[1:] {
+			if b < min {
+				min = b
+			}
+		}
+		latency += time.Duration(min) * SlotTime
+		winners := 0
+		for i := range backoff {
+			backoff[i] -= min
+			if backoff[i] == 0 {
+				winners++
+			}
+		}
+		if winners == 1 {
+			break
+		}
+		// Collision: the garbled INITs occupy the medium, then everyone
+		// involved backs off harder.
+		collisions++
+		latency += itsInitAirtime() + DIFS
+		for i := range backoff {
+			if backoff[i] == 0 {
+				cw[i] = cw[i]*2 + 1
+				if cw[i] > CWMax {
+					cw[i] = CWMax
+				}
+				backoff[i] = 1 + src.Intn(cw[i]+1)
+			}
+		}
+	}
+	withPayload := src.Float64() < refreshFraction(e.Coherence)
+	latency += e.exchangeAirtime(withPayload)
+	return ExchangeOutcome{Latency: latency, Collisions: collisions}
+}
+
+// MeanLatency runs the simulation `trials` times and returns the average
+// latency and collision rate.
+func (e ExchangeSim) MeanLatency(src *rng.Source, trials int) (time.Duration, float64) {
+	var total time.Duration
+	collided := 0
+	for i := 0; i < trials; i++ {
+		out := e.Run(src)
+		total += out.Latency
+		if out.Collisions > 0 {
+			collided++
+		}
+	}
+	if trials == 0 {
+		return 0, 0
+	}
+	return total / time.Duration(trials), float64(collided) / float64(trials)
+}

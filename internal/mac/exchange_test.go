@@ -1,0 +1,76 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"copa/internal/rng"
+)
+
+func TestExchangeSingleContenderNeverCollides(t *testing.T) {
+	e := ExchangeSim{Contenders: 1, Model: DefaultOverheadModel(), Coherence: 30 * time.Millisecond}
+	src := rng.New(1)
+	for i := 0; i < 200; i++ {
+		out := e.Run(src)
+		if out.Collisions != 0 {
+			t.Fatal("lone contender collided")
+		}
+		if out.Latency <= DIFS {
+			t.Fatal("latency implausibly small")
+		}
+	}
+}
+
+func TestExchangeCollisionRateGrowsWithContenders(t *testing.T) {
+	model := DefaultOverheadModel()
+	src := rng.New(2)
+	var prev float64
+	for _, n := range []int{2, 4, 8} {
+		e := ExchangeSim{Contenders: n, Model: model, Coherence: 30 * time.Millisecond}
+		_, rate := e.MeanLatency(src.Split(uint64(n)), 3000)
+		if rate <= prev {
+			t.Errorf("collision rate not increasing: %d contenders → %.3f (prev %.3f)", n, rate, prev)
+		}
+		prev = rate
+	}
+	// With CWmin=15, two contenders collide ≈1/16 of the time.
+	e := ExchangeSim{Contenders: 2, Model: model, Coherence: 30 * time.Millisecond}
+	_, rate := e.MeanLatency(rng.New(3), 6000)
+	if rate < 0.02 || rate > 0.15 {
+		t.Errorf("2-contender collision rate %.3f, want ≈1/16", rate)
+	}
+}
+
+func TestExchangeLatencyGrowsWithShortCoherence(t *testing.T) {
+	model := DefaultOverheadModel()
+	fast := ExchangeSim{Contenders: 2, Model: model, Coherence: 4 * time.Millisecond}
+	slow := ExchangeSim{Contenders: 2, Model: model, Coherence: time.Second}
+	lf, _ := fast.MeanLatency(rng.New(4), 3000)
+	ls, _ := slow.MeanLatency(rng.New(4), 3000)
+	if lf <= ls {
+		t.Errorf("short coherence (payload every time) should cost more: %v vs %v", lf, ls)
+	}
+}
+
+func TestExchangeLatencyConsistentWithTable1(t *testing.T) {
+	// The simulated mean exchange cost at tc=30 ms should be in the same
+	// regime as the analytic per-TXOP overhead (a few percent of 4 ms).
+	e := ExchangeSim{Contenders: 2, Model: DefaultOverheadModel(), Coherence: 30 * time.Millisecond}
+	mean, _ := e.MeanLatency(rng.New(5), 3000)
+	frac := float64(mean) / float64(mean+TxOp)
+	analytic := DefaultOverheadModel().COPAConcOverhead(30 * time.Millisecond)
+	if frac < analytic/3 || frac > analytic*3 {
+		t.Errorf("simulated overhead %.1f%% vs analytic %.1f%%: more than 3x apart",
+			frac*100, analytic*100)
+	}
+}
+
+func BenchmarkExchangeSim(b *testing.B) {
+	e := ExchangeSim{Contenders: 4, Model: DefaultOverheadModel(), Coherence: 30 * time.Millisecond}
+	src := rng.New(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(src)
+	}
+}

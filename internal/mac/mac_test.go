@@ -1,0 +1,262 @@
+package mac
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"copa/internal/rng"
+)
+
+func TestTimingConstants(t *testing.T) {
+	if DIFS != 28*time.Microsecond {
+		t.Errorf("DIFS = %v", DIFS)
+	}
+	if MeanBackoff() != 67500*time.Nanosecond {
+		t.Errorf("mean backoff = %v", MeanBackoff())
+	}
+	// A CTS at 24 Mb/s: 20 µs preamble + 14·8/24 ≈ 4.7 µs.
+	at := FrameAirtime(CTSBytes, ControlRateBps)
+	if at < 24*time.Microsecond || at > 26*time.Microsecond {
+		t.Errorf("CTS airtime = %v", at)
+	}
+}
+
+func TestITSInitRoundTrip(t *testing.T) {
+	f := &ITSInit{
+		Leader:    Addr{1, 2, 3, 4, 5, 6},
+		Client:    Addr{7, 8, 9, 10, 11, 12},
+		AirtimeUS: 4000,
+	}
+	data := f.Marshal()
+	got, err := UnmarshalITSInit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *f {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestITSReqRoundTrip(t *testing.T) {
+	f := &ITSReq{
+		Leader:       Addr{1, 1, 1, 1, 1, 1},
+		Follower:     Addr{2, 2, 2, 2, 2, 2},
+		Client1:      Addr{3, 3, 3, 3, 3, 3},
+		Client2:      Addr{4, 4, 4, 4, 4, 4},
+		AirtimeUS:    8000,
+		CSIToClient1: []byte{0xde, 0xad, 0xbe, 0xef},
+		CSIToClient2: []byte{0xca, 0xfe},
+	}
+	got, err := UnmarshalITSReq(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Leader != f.Leader || got.Follower != f.Follower ||
+		got.Client1 != f.Client1 || got.Client2 != f.Client2 ||
+		got.AirtimeUS != f.AirtimeUS {
+		t.Error("identity fields mismatch")
+	}
+	if !bytes.Equal(got.CSIToClient1, f.CSIToClient1) || !bytes.Equal(got.CSIToClient2, f.CSIToClient2) {
+		t.Error("CSI payloads mismatch")
+	}
+}
+
+func TestITSAckRoundTrip(t *testing.T) {
+	f := &ITSAck{
+		Leader:           Addr{1, 0, 0, 0, 0, 1},
+		Follower:         Addr{2, 0, 0, 0, 0, 2},
+		Client1:          Addr{3, 0, 0, 0, 0, 3},
+		Client2:          Addr{4, 0, 0, 0, 0, 4},
+		AirtimeUS:        4000,
+		Decision:         DecideConcurrent,
+		FollowerPrecoder: []byte{9, 8, 7},
+		FollowerPowerMW:  [][]float64{{0.5, 0.25}, {0, 1.125}},
+	}
+	got, err := UnmarshalITSAck(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != DecideConcurrent || !bytes.Equal(got.FollowerPrecoder, f.FollowerPrecoder) {
+		t.Error("decision/precoder mismatch")
+	}
+	if len(got.FollowerPowerMW) != 2 {
+		t.Fatalf("power rows = %d", len(got.FollowerPowerMW))
+	}
+	for k := range f.FollowerPowerMW {
+		for s := range f.FollowerPowerMW[k] {
+			if math.Abs(got.FollowerPowerMW[k][s]-f.FollowerPowerMW[k][s]) > 1e-3 {
+				t.Errorf("power[%d][%d] = %g want %g", k, s,
+					got.FollowerPowerMW[k][s], f.FollowerPowerMW[k][s])
+			}
+		}
+	}
+}
+
+func TestITSAckSequentialEmpty(t *testing.T) {
+	f := &ITSAck{Decision: DecideSequential, AirtimeUS: 100}
+	got, err := UnmarshalITSAck(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != DecideSequential || len(got.FollowerPrecoder) != 0 || got.FollowerPowerMW != nil {
+		t.Error("sequential ACK should carry no payloads")
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	f := &ITSInit{Leader: Addr{1}, Client: Addr{2}, AirtimeUS: 1}
+	data := f.Marshal()
+
+	// Flip a payload bit: CRC must catch it.
+	bad := append([]byte(nil), data...)
+	bad[headerBytes] ^= 0x01
+	if _, err := UnmarshalITSInit(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("bit flip not detected")
+	}
+	// Truncation.
+	if _, err := UnmarshalITSInit(data[:len(data)-2]); !errors.Is(err, ErrBadFrame) {
+		t.Error("truncation not detected")
+	}
+	// Wrong type.
+	req := (&ITSReq{}).Marshal()
+	if _, err := UnmarshalITSInit(req); !errors.Is(err, ErrBadFrame) {
+		t.Error("type confusion not detected")
+	}
+	// Empty.
+	if _, err := UnmarshalITSInit(nil); !errors.Is(err, ErrBadFrame) {
+		t.Error("nil frame not detected")
+	}
+}
+
+func TestQuickFrameFuzz(t *testing.T) {
+	// Random byte strings must never decode successfully (the magic,
+	// length and CRC gates) nor panic.
+	f := func(data []byte) bool {
+		if _, err := UnmarshalITSInit(data); err == nil {
+			return false
+		}
+		if _, err := UnmarshalITSReq(data); err == nil {
+			return false
+		}
+		if _, err := UnmarshalITSAck(data); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1ShapeAndOrdering(t *testing.T) {
+	m := DefaultOverheadModel()
+	rows := m.Table1(4*time.Millisecond, 30*time.Millisecond, 1000*time.Millisecond)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Concurrent always costs more than sequential; RTS/CTS more
+		// than CTS-to-self (paper's Table 1 ordering).
+		if r.COPAConc <= r.COPASeq {
+			t.Errorf("row %d: conc %.3f <= seq %.3f", i, r.COPAConc, r.COPASeq)
+		}
+		if r.CSMARTS <= r.CSMACTS {
+			t.Errorf("row %d: RTS %.3f <= CTS %.3f", i, r.CSMARTS, r.CSMACTS)
+		}
+		// COPA overheads exceed CSMA's (coordination is not free).
+		if r.COPASeq <= r.CSMACTS {
+			t.Errorf("row %d: COPA seq %.3f <= CSMA CTS %.3f", i, r.COPASeq, r.CSMACTS)
+		}
+		// Overheads decrease (weakly) as the channel grows more stable.
+		if i > 0 {
+			if r.COPAConc > rows[i-1].COPAConc || r.COPASeq > rows[i-1].COPASeq {
+				t.Errorf("overheads not decreasing with coherence time")
+			}
+		}
+		// CSMA does not depend on coherence time.
+		if r.CSMACTS != rows[0].CSMACTS || r.CSMARTS != rows[0].CSMARTS {
+			t.Error("CSMA overhead should be coherence-independent")
+		}
+	}
+	// Magnitudes in the paper's ballpark (Table 1: 2.7–9.3%).
+	r0 := rows[0]
+	if r0.COPAConc < 0.05 || r0.COPAConc > 0.15 {
+		t.Errorf("COPA conc @4ms = %.1f%%, want ≈9%%", r0.COPAConc*100)
+	}
+	if r0.CSMACTS < 0.015 || r0.CSMACTS > 0.05 {
+		t.Errorf("CSMA CTS = %.1f%%, want ≈2.7%%", r0.CSMACTS*100)
+	}
+	last := rows[2]
+	if last.COPASeq > 2*last.CSMACTS {
+		t.Errorf("COPA seq @1s = %.1f%% should approach CSMA's %.1f%%",
+			last.COPASeq*100, last.CSMACTS*100)
+	}
+}
+
+func TestDCFTwoStationsFair(t *testing.T) {
+	d := DCF{Stations: 2}
+	stats := d.Run(rng.New(1), 4000)
+	if math.Abs(stats.Airtime[0]-0.5) > 0.05 {
+		t.Errorf("two-station share = %v", stats.Airtime)
+	}
+	if stats.JainIndex < 0.99 {
+		t.Errorf("Jain = %g", stats.JainIndex)
+	}
+}
+
+func TestDCFPairWithoutDeferenceIsUnfair(t *testing.T) {
+	// A COPA pair that wins two consecutive TXOPs squeezes the third
+	// station below its fair 1/3 share.
+	d := DCF{Stations: 3, COPAPair: true}
+	stats := d.Run(rng.New(2), 6000)
+	third := stats.Airtime[2]
+	if third >= 0.30 {
+		t.Errorf("outsider share = %.3f; expected squeezed below fair 1/3", third)
+	}
+}
+
+func TestDCFDeferenceRestoresFairness(t *testing.T) {
+	base := DCF{Stations: 3, COPAPair: true}.Run(rng.New(3), 6000)
+	fixed := DCF{Stations: 3, COPAPair: true, Deference: true}.Run(rng.New(3), 6000)
+	if fixed.Airtime[2] <= base.Airtime[2] {
+		t.Errorf("deference did not help the outsider: %.3f vs %.3f",
+			fixed.Airtime[2], base.Airtime[2])
+	}
+	if fixed.JainIndex <= base.JainIndex {
+		t.Errorf("deference did not improve Jain: %.4f vs %.4f",
+			fixed.JainIndex, base.JainIndex)
+	}
+}
+
+func TestDCFDeterministic(t *testing.T) {
+	a := DCF{Stations: 4, COPAPair: true}.Run(rng.New(9), 1000)
+	b := DCF{Stations: 4, COPAPair: true}.Run(rng.New(9), 1000)
+	for i := range a.Airtime {
+		if a.Airtime[i] != b.Airtime[i] {
+			t.Fatal("same seed gave different results")
+		}
+	}
+}
+
+func BenchmarkDCF(b *testing.B) {
+	d := DCF{Stations: 4, COPAPair: true, Deference: true}
+	src := rng.New(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(src, 1000)
+	}
+}
+
+func BenchmarkITSReqMarshal(b *testing.B) {
+	f := &ITSReq{CSIToClient1: make([]byte, 420), CSIToClient2: make([]byte, 420)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Marshal()
+	}
+}

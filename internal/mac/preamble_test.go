@@ -1,0 +1,82 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"copa/internal/ofdm"
+)
+
+func TestSubcarrierMapRoundTrip(t *testing.T) {
+	used := make([]bool, ofdm.NumSubcarriers)
+	for k := range used {
+		used[k] = k%3 != 0
+	}
+	m, err := NewSubcarrierMap(used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range used {
+		if m.Used(k) != used[k] {
+			t.Fatalf("bit %d mismatch", k)
+		}
+	}
+	wire := m.Marshal()
+	if len(wire) != 7 {
+		t.Errorf("wire size %d, want 7", len(wire))
+	}
+	back, err := UnmarshalSubcarrierMap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Error("wire round trip mismatch")
+	}
+}
+
+func TestSubcarrierMapValidation(t *testing.T) {
+	if _, err := NewSubcarrierMap(make([]bool, 10)); err == nil {
+		t.Error("wrong flag count accepted")
+	}
+	if _, err := UnmarshalSubcarrierMap([]byte{1, 2}); err == nil {
+		t.Error("short wire form accepted")
+	}
+	var m SubcarrierMap
+	if m.Used(-1) || m.Used(ofdm.NumSubcarriers) {
+		t.Error("out-of-range indices should read false")
+	}
+}
+
+func TestSubcarrierMapFromPowers(t *testing.T) {
+	powers := make([][]float64, ofdm.NumSubcarriers)
+	for k := range powers {
+		powers[k] = []float64{0, 0}
+	}
+	powers[3][1] = 0.5
+	powers[10][0] = 0.1
+	m, err := SubcarrierMapFromPowers(powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 || !m.Used(3) || !m.Used(10) || m.Used(4) {
+		t.Errorf("map from powers wrong: count=%d", m.Count())
+	}
+}
+
+func TestQuickSubcarrierMapCount(t *testing.T) {
+	f := func(bits uint64) bool {
+		used := make([]bool, ofdm.NumSubcarriers)
+		want := 0
+		for k := range used {
+			if bits&(1<<(k%64)) != 0 && k%2 == 0 {
+				used[k] = true
+				want++
+			}
+		}
+		m, err := NewSubcarrierMap(used)
+		return err == nil && m.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

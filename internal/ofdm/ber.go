@@ -1,0 +1,72 @@
+package ofdm
+
+import "math"
+
+// QFunc is the Gaussian tail probability Q(x) = P(N(0,1) > x).
+func QFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// UncodedBER returns the pre-decoder (raw) bit-error rate of the given
+// constellation at the given post-equalization SINR (linear, per symbol).
+// Gray mapping and the standard nearest-neighbour approximations are used,
+// as in Halperin et al. (SIGCOMM 2010), which the paper follows for
+// throughput prediction.
+func UncodedBER(m Modulation, sinr float64) float64 {
+	if sinr <= 0 {
+		return 0.5
+	}
+	var ber float64
+	switch m {
+	case BPSK:
+		ber = QFunc(math.Sqrt(2 * sinr))
+	case QPSK:
+		// QPSK per-bit error equals BPSK at half the symbol SNR.
+		ber = QFunc(math.Sqrt(sinr))
+	case QAM16, QAM64:
+		mm := float64(m.Points())
+		k := float64(m.Modulation().BitsPerSymbol())
+		ber = 4 / k * (1 - 1/math.Sqrt(mm)) * QFunc(math.Sqrt(3*sinr/(mm-1)))
+	default:
+		panic("ofdm: unknown modulation")
+	}
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// Modulation returns m itself; it exists so UncodedBER can be written
+// uniformly over Modulation values (M-QAM needs bits-per-symbol).
+func (m Modulation) Modulation() Modulation { return m }
+
+// SINRForBER inverts UncodedBER: the linear SINR at which the constellation
+// reaches the target raw BER. Computed by bisection; used by power
+// allocators that place subcarriers at an SINR operating point.
+func SINRForBER(m Modulation, targetBER float64) float64 {
+	if targetBER >= 0.5 {
+		return 0
+	}
+	lo, hi := 0.0, 1e9
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if UncodedBER(m, mid) > targetBER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ShannonCapacityBps returns the aggregate Shannon capacity (bits/s) of a
+// set of per-subcarrier linear SINRs, as a reference upper bound.
+func ShannonCapacityBps(sinrs []float64) float64 {
+	var bits float64
+	for _, s := range sinrs {
+		if s > 0 {
+			bits += math.Log2(1 + s)
+		}
+	}
+	return bits / SymbolDuration.Seconds()
+}

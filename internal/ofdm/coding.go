@@ -1,0 +1,129 @@
+package ofdm
+
+import "math"
+
+// Distance spectra for the 802.11 K=7 (133,171) convolutional code and its
+// punctured rate-2/3, 3/4 and 5/6 variants. For each rate, freeDistance is
+// d_free and weights[i] is the total information-bit weight c_{d_free+i}
+// of all error events at Hamming distance d_free+i. The tables are the
+// standard Haccoun–Bégin / Frenger et al. spectra used throughout the
+// 802.11 performance-analysis literature.
+type distanceSpectrum struct {
+	freeDistance int
+	// bitsPerCycle is the number of information bits per puncturing
+	// cycle; the union bound is normalized by it.
+	bitsPerCycle float64
+	weights      []float64
+}
+
+var spectra = map[CodeRate]distanceSpectrum{
+	R12: {
+		freeDistance: 10,
+		bitsPerCycle: 1,
+		weights:      []float64{36, 0, 211, 0, 1404, 0, 11633, 0, 77433, 0},
+	},
+	R23: {
+		freeDistance: 6,
+		bitsPerCycle: 2,
+		weights:      []float64{3, 70, 285, 1276, 6160, 27128, 117019, 498860, 2103891, 8784123},
+	},
+	R34: {
+		freeDistance: 5,
+		bitsPerCycle: 3,
+		weights:      []float64{42, 201, 1492, 10469, 62935, 379644, 2253373, 13073811, 75152755, 428005675},
+	},
+	R56: {
+		freeDistance: 4,
+		bitsPerCycle: 5,
+		weights:      []float64{92, 528, 8694, 79453, 791795, 7369828, 67809347, 610280087, 5427275376, 47664215454},
+	},
+}
+
+// binomial returns C(n, k) as a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// pairwiseErrorProb is the probability that a hard-decision Viterbi
+// decoder prefers a path at Hamming distance d given channel crossover
+// probability p.
+func pairwiseErrorProb(d int, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 0.5 {
+		return 0.5
+	}
+	q := 1 - p
+	var sum float64
+	if d%2 == 0 {
+		half := d / 2
+		sum += 0.5 * binomial(d, half) * math.Pow(p, float64(half)) * math.Pow(q, float64(half))
+		for k := half + 1; k <= d; k++ {
+			sum += binomial(d, k) * math.Pow(p, float64(k)) * math.Pow(q, float64(d-k))
+		}
+	} else {
+		for k := (d + 1) / 2; k <= d; k++ {
+			sum += binomial(d, k) * math.Pow(p, float64(k)) * math.Pow(q, float64(d-k))
+		}
+	}
+	return sum
+}
+
+// CodedBER bounds the post-Viterbi bit-error rate for the 802.11
+// convolutional code at the given rate, with raw (pre-decoder) bit-error
+// rate p, via the standard union bound over the code's distance spectrum.
+// The result is clamped to [0, 0.5]; at raw BERs where the bound exceeds
+// 0.5 the decoder is useless anyway.
+func CodedBER(rate CodeRate, p float64) float64 {
+	spec, ok := spectra[rate]
+	if !ok {
+		panic("ofdm: unknown code rate")
+	}
+	if p <= 0 {
+		return 0
+	}
+	var pb float64
+	for i, w := range spec.weights {
+		if w == 0 {
+			continue
+		}
+		pb += w * pairwiseErrorProb(spec.freeDistance+i, p)
+		if pb > 0.5*spec.bitsPerCycle {
+			return 0.5
+		}
+	}
+	pb /= spec.bitsPerCycle
+	if pb > 0.5 {
+		return 0.5
+	}
+	return pb
+}
+
+// FrameErrorRate converts a post-decoder bit-error rate into the loss
+// probability of a frame of the given length, assuming independent
+// residual bit errors.
+func FrameErrorRate(codedBER float64, bits int) float64 {
+	if codedBER <= 0 {
+		return 0
+	}
+	if codedBER >= 0.5 {
+		return 1
+	}
+	// 1 − (1−p)^bits, computed in log space for tiny p.
+	fer := -math.Expm1(float64(bits) * math.Log1p(-codedBER))
+	if fer > 1 {
+		return 1
+	}
+	return fer
+}

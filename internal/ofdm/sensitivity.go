@@ -1,0 +1,38 @@
+package ofdm
+
+import "math"
+
+// SensitivityDB returns the minimum flat-channel SINR (dB) at which this
+// MCS delivers MPDUs with at most the target frame-error rate — the
+// "waterfall" operating point rate adaptation hinges on. Computed by
+// bisection over the analytic BER/FER model.
+func (m MCS) SensitivityDB(targetFER float64) float64 {
+	if targetFER <= 0 || targetFER >= 1 {
+		panic("ofdm: target FER must be in (0, 1)")
+	}
+	fer := func(snrDB float64) float64 {
+		raw := UncodedBER(m.Modulation, math.Pow(10, snrDB/10))
+		return FrameErrorRate(CodedBER(m.CodeRate, raw), MPDUBytes*8)
+	}
+	lo, hi := -10.0, 60.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if fer(mid) > targetFER {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SensitivityTable returns each MCS's 10%-FER threshold in dB, in MCS
+// order. Successive entries must increase: denser constellations and
+// weaker codes need more SINR.
+func SensitivityTable() []float64 {
+	out := make([]float64, 0, len(Table()))
+	for _, m := range Table() {
+		out = append(out, m.SensitivityDB(0.1))
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package ofdm
+
+// StreamRate is the outcome of rate selection for one spatial stream.
+type StreamRate struct {
+	MCS MCS
+	// GoodputBps is the predicted PHY-layer goodput in bits/s (before
+	// MAC overheads): data rate scaled by the fraction of subcarriers in
+	// use and by per-MPDU delivery probability.
+	GoodputBps float64
+	// FER is the per-MPDU frame error rate at the selected MCS.
+	FER float64
+	// UncodedBER is the mean raw BER across used subcarriers.
+	UncodedBER float64
+}
+
+// ThroughputForMCS predicts the PHY goodput of a single spatial stream
+// carrying the given MCS over subcarriers with the given post-equalization
+// linear SINRs. Entries equal to sinrDropped (negative) mark subcarriers
+// the sender does not use: they carry no data and contribute no errors.
+//
+// The model follows the paper's methodology (§4.1): per-subcarrier SINR →
+// raw BER for the constellation → mean raw BER across used subcarriers
+// (one decoder spans all subcarriers, so weak subcarriers drag down the
+// whole frame) → union-bound coded BER → MPDU frame-error rate → goodput.
+func ThroughputForMCS(m MCS, sinrs []float64) StreamRate {
+	used := 0
+	var rawSum float64
+	for _, s := range sinrs {
+		if s < 0 {
+			continue // dropped subcarrier
+		}
+		used++
+		rawSum += UncodedBER(m.Modulation, s)
+	}
+	if used == 0 {
+		return StreamRate{MCS: m}
+	}
+	raw := rawSum / float64(used)
+	coded := CodedBER(m.CodeRate, raw)
+	fer := FrameErrorRate(coded, MPDUBytes*8)
+	goodput := m.DataRateBps() * float64(used) / NumSubcarriers * (1 - fer)
+	return StreamRate{MCS: m, GoodputBps: goodput, FER: fer, UncodedBER: raw}
+}
+
+// BestRate selects the throughput-maximizing MCS for one spatial stream
+// over the given per-subcarrier linear SINRs (negative entries = dropped).
+func BestRate(sinrs []float64) StreamRate {
+	var best StreamRate
+	for _, m := range Table() {
+		if r := ThroughputForMCS(m, sinrs); r.GoodputBps > best.GoodputBps {
+			best = r
+		} else if best.GoodputBps == 0 && r.MCS.Index == 0 {
+			best = r // keep MCS0 as the floor when nothing is decodable
+		}
+	}
+	return best
+}
+
+// MultiDecoderThroughputBps predicts the PHY goodput of one stream when
+// the transceiver can run an independent modulation and decoder per
+// subcarrier (the Fig. 14 "N decoders" hypothetical). Each subcarrier
+// independently picks its best MCS; its goodput contribution is its
+// per-subcarrier rate times its own delivery probability.
+func MultiDecoderThroughputBps(sinrs []float64) float64 {
+	var total float64
+	for _, s := range sinrs {
+		if s < 0 {
+			continue
+		}
+		var best float64
+		for _, m := range Table() {
+			raw := UncodedBER(m.Modulation, s)
+			coded := CodedBER(m.CodeRate, raw)
+			fer := FrameErrorRate(coded, MPDUBytes*8)
+			rate := m.BitsPerSubcarrierSymbol() / SymbolDuration.Seconds() * (1 - fer)
+			if rate > best {
+				best = rate
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// SumGoodput adds the goodput of multiple streams.
+func SumGoodput(rates []StreamRate) float64 {
+	var t float64
+	for _, r := range rates {
+		t += r.GoodputBps
+	}
+	return t
+}
+
+// JointRate is the outcome of rate selection for a whole multi-stream
+// transmission under 802.11n's equal-modulation constraint: one MCS and
+// one convolutional decoder span every spatial stream and subcarrier, so
+// the weakest used subcarrier–stream cells drag the entire frame (§2.1 —
+// this constraint is the reason COPA drops subcarriers at all).
+type JointRate struct {
+	MCS MCS
+	// GoodputBps is the whole transmission's predicted PHY goodput.
+	GoodputBps float64
+	// FER is the per-MPDU frame error rate at the selected MCS.
+	FER float64
+	// UncodedBER is the mean raw BER across used subcarrier–stream cells.
+	UncodedBER float64
+	// Used is the number of subcarrier–stream cells carrying data.
+	Used int
+}
+
+// JointThroughputForMCS predicts goodput for one MCS over a [subcarrier][stream]
+// SINR matrix (negative entries = dropped cells).
+func JointThroughputForMCS(m MCS, sinrs [][]float64) JointRate {
+	used := 0
+	var rawSum float64
+	for _, row := range sinrs {
+		for _, s := range row {
+			if s < 0 {
+				continue
+			}
+			used++
+			rawSum += UncodedBER(m.Modulation, s)
+		}
+	}
+	if used == 0 {
+		return JointRate{MCS: m}
+	}
+	raw := rawSum / float64(used)
+	coded := CodedBER(m.CodeRate, raw)
+	fer := FrameErrorRate(coded, MPDUBytes*8)
+	goodput := m.BitsPerSubcarrierSymbol() * float64(used) / SymbolDuration.Seconds() * (1 - fer)
+	return JointRate{MCS: m, GoodputBps: goodput, FER: fer, UncodedBER: raw, Used: used}
+}
+
+// JointBestRate selects the throughput-maximizing single MCS for a whole
+// multi-stream transmission.
+func JointBestRate(sinrs [][]float64) JointRate {
+	var best JointRate
+	for _, m := range Table() {
+		if r := JointThroughputForMCS(m, sinrs); r.GoodputBps > best.GoodputBps {
+			best = r
+		} else if best.GoodputBps == 0 && r.MCS.Index == 0 {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package phy
+
+import (
+	"fmt"
+
+	"copa/internal/ofdm"
+)
+
+// The 802.11 convolutional code: constraint length 7, generators 133 and
+// 171 (octal).
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	// The standard generators are 133/171 octal with the *current* input
+	// bit as the polynomial's most significant tap. This implementation
+	// keeps the current bit in the register's LSB, so the tap masks are
+	// the 7-bit reversals: rev(133₈=1011011) = 1101101₂ = 155₈ and
+	// rev(171₈=1111001) = 1001111₂ = 117₈.
+	genA = 0o155
+	genB = 0o117
+)
+
+// parity returns the parity of x.
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes bits with the rate-1/2 mother code, returning the
+// (A, B) output pair per input bit, interleaved as A0 B0 A1 B1 …. The
+// encoder starts and ends in state 0; callers should append
+// constraintLen−1 zero tail bits if they want termination.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)*2)
+	var state uint32 // (constraintLen-1)-bit register
+	for _, b := range bits {
+		reg := (state << 1) | uint32(b&1)
+		out = append(out, parity(reg&genA), parity(reg&genB))
+		state = reg & (numStates - 1)
+	}
+	return out
+}
+
+// puncturePattern returns the A and B keep-masks for a code rate, applied
+// cyclically per input bit (802.11 §17.3.5.6).
+func puncturePattern(rate ofdm.CodeRate) (a, b []bool, err error) {
+	switch rate {
+	case ofdm.R12:
+		return []bool{true}, []bool{true}, nil
+	case ofdm.R23:
+		return []bool{true, true}, []bool{true, false}, nil
+	case ofdm.R34:
+		return []bool{true, true, false}, []bool{true, false, true}, nil
+	case ofdm.R56:
+		return []bool{true, true, false, true, false}, []bool{true, false, true, false, true}, nil
+	}
+	return nil, nil, fmt.Errorf("phy: unknown code rate %v", rate)
+}
+
+// Puncture drops coded bits per the rate's pattern. Input is the
+// interleaved A0 B0 A1 B1 … stream from ConvEncode.
+func Puncture(coded []byte, rate ofdm.CodeRate) ([]byte, error) {
+	a, b, err := puncturePattern(rate)
+	if err != nil {
+		return nil, err
+	}
+	period := len(a)
+	out := make([]byte, 0, len(coded))
+	for i := 0; i*2+1 < len(coded); i++ {
+		p := i % period
+		if a[p] {
+			out = append(out, coded[i*2])
+		}
+		if b[p] {
+			out = append(out, coded[i*2+1])
+		}
+	}
+	return out, nil
+}
+
+// Depuncture re-inserts erased positions into a punctured LLR stream as
+// zero LLRs (no information), returning the full-rate A0 B0 A1 B1 …
+// sequence of length 2·inputBits.
+func Depuncture(llrs []float64, rate ofdm.CodeRate, inputBits int) ([]float64, error) {
+	a, b, err := puncturePattern(rate)
+	if err != nil {
+		return nil, err
+	}
+	period := len(a)
+	out := make([]float64, 0, inputBits*2)
+	idx := 0
+	take := func(keep bool) float64 {
+		if !keep || idx >= len(llrs) {
+			return 0
+		}
+		v := llrs[idx]
+		idx++
+		return v
+	}
+	for i := 0; i < inputBits; i++ {
+		p := i % period
+		out = append(out, take(a[p]), take(b[p]))
+	}
+	return out, nil
+}
+
+// CodedBits returns how many bits survive puncturing for inputBits input
+// bits at the given rate.
+func CodedBits(inputBits int, rate ofdm.CodeRate) int {
+	a, b, err := puncturePattern(rate)
+	if err != nil {
+		return 0
+	}
+	period := len(a)
+	n := 0
+	for i := 0; i < inputBits; i++ {
+		p := i % period
+		if a[p] {
+			n++
+		}
+		if b[p] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+package phy
+
+import "copa/internal/ofdm"
+
+// InterleaverPermutation returns the 802.11 per-OFDM-symbol block
+// interleaver permutation for the given modulation over the HT 52-data-
+// subcarrier layout: perm[k] is the output position of input coded bit k.
+// The two-step permutation spreads adjacent coded bits across
+// non-adjacent subcarriers and alternating significant bit positions.
+func InterleaverPermutation(m ofdm.Modulation) []int {
+	nbpsc := m.BitsPerSymbol()
+	ncbps := ofdm.NumSubcarriers * nbpsc
+	// HT 20 MHz parameters (802.11n §20.3.11.8.1): 13 columns, 4·Nbpsc
+	// rows, so the block always divides evenly over 52 data subcarriers.
+	const ncol = 13
+	nrow := 4 * nbpsc
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		// First permutation: write row-wise, read column-wise.
+		i := nrow*(k%ncol) + k/ncol
+		// Second permutation: rotate bit positions within a subcarrier.
+		j := s*(i/s) + (i+ncbps-(ncol*i)/ncbps)%s
+		perm[k] = j
+	}
+	return perm
+}
+
+// Interleave permutes one OFDM symbol's worth of coded bits.
+func Interleave(m ofdm.Modulation, bits []byte) []byte {
+	perm := InterleaverPermutation(m)
+	if len(bits) != len(perm) {
+		panic("phy: interleaver block size mismatch")
+	}
+	out := make([]byte, len(bits))
+	for k, b := range bits {
+		out[perm[k]] = b
+	}
+	return out
+}
+
+// DeinterleaveLLR inverts the interleaver on a block of soft values.
+func DeinterleaveLLR(m ofdm.Modulation, llrs []float64) []float64 {
+	perm := InterleaverPermutation(m)
+	if len(llrs) != len(perm) {
+		panic("phy: deinterleaver block size mismatch")
+	}
+	out := make([]float64, len(llrs))
+	for k := range out {
+		out[k] = llrs[perm[k]]
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"copa/internal/ofdm"
+	"copa/internal/rng"
+)
+
+// LinkResult summarizes one end-to-end transmission experiment.
+type LinkResult struct {
+	// BitsSent is the number of information bits carried.
+	BitsSent int
+	// RawBitErrors counts pre-decoder errors on coded bits.
+	RawBitErrors int
+	// BitErrors counts post-decoder information-bit errors.
+	BitErrors int
+	// CodedBits is the number of transmitted coded bits.
+	CodedBits int
+}
+
+// RawBER is the pre-decoder bit error rate.
+func (r LinkResult) RawBER() float64 {
+	if r.CodedBits == 0 {
+		return 0
+	}
+	return float64(r.RawBitErrors) / float64(r.CodedBits)
+}
+
+// BER is the post-decoder information bit error rate.
+func (r LinkResult) BER() float64 {
+	if r.BitsSent == 0 {
+		return 0
+	}
+	return float64(r.BitErrors) / float64(r.BitsSent)
+}
+
+// SimulateLink runs the full 802.11 baseband chain over a frequency-flat
+// AWGN subcarrier at the given per-symbol linear SINR: scramble → encode →
+// puncture → interleave (per OFDM symbol) → QAM map → AWGN → soft demap →
+// deinterleave → depuncture → Viterbi → descramble, and counts errors.
+// symbols is the number of OFDM symbols to push through (each carries
+// 52·bitsPerSC coded bits).
+func SimulateLink(src *rng.Source, mcs ofdm.MCS, sinr float64, symbols int) (LinkResult, error) {
+	if symbols < 1 {
+		return LinkResult{}, fmt.Errorf("phy: need at least one symbol")
+	}
+	nbpsc := mcs.Modulation.BitsPerSymbol()
+	ncbps := ofdm.NumSubcarriers * nbpsc
+	totalCoded := ncbps * symbols
+
+	// How many information bits fit: inverse of puncturing, minus tail.
+	infoBits := int(float64(totalCoded)*mcs.CodeRate.Value()) - (constraintLen - 1)
+	for CodedBits(infoBits+constraintLen-1, mcs.CodeRate) > totalCoded && infoBits > 0 {
+		infoBits--
+	}
+	if infoBits <= 0 {
+		return LinkResult{}, fmt.Errorf("phy: frame too small for %v", mcs)
+	}
+
+	// Information bits → scrambled, tail-terminated stream.
+	info := make([]byte, infoBits)
+	for i := range info {
+		if src.Bool(0.5) {
+			info[i] = 1
+		}
+	}
+	scrambled := NewScrambler(0x5d).Apply(append([]byte(nil), info...))
+	withTail := append(scrambled, make([]byte, constraintLen-1)...)
+
+	coded := ConvEncode(withTail)
+	punctured, err := Puncture(coded, mcs.CodeRate)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	// Pad to whole OFDM symbols with alternating filler bits.
+	padded := append([]byte(nil), punctured...)
+	for i := 0; len(padded) < totalCoded; i++ {
+		padded = append(padded, byte(i&1))
+	}
+
+	// Per-symbol interleave, map, AWGN channel, demap, deinterleave.
+	amp := math.Sqrt(sinr)
+	noiseVar := 1.0
+	llrs := make([]float64, 0, totalCoded)
+	rawErrs := 0
+	for s := 0; s < symbols; s++ {
+		block := padded[s*ncbps : (s+1)*ncbps]
+		inter := Interleave(mcs.Modulation, block)
+		syms := Map(mcs.Modulation, inter)
+		rx := make([]complex128, len(syms))
+		for i, x := range syms {
+			rx[i] = complex(amp, 0)*x + src.CN(noiseVar)
+		}
+		// Normalize amplitude back so the demapper sees unit symbols.
+		for i := range rx {
+			rx[i] /= complex(amp, 0)
+		}
+		symLLR := DemapLLR(mcs.Modulation, rx, noiseVar/sinr)
+		// Count raw (hard-decision) errors before decoding.
+		for i, l := range symLLR {
+			hard := byte(0)
+			if l < 0 {
+				hard = 1
+			}
+			if hard != inter[i] {
+				rawErrs++
+			}
+		}
+		llrs = append(llrs, DeinterleaveLLR(mcs.Modulation, symLLR)...)
+	}
+
+	// Strip pad, depuncture, decode.
+	llrs = llrs[:len(punctured)]
+	full, err := Depuncture(llrs, mcs.CodeRate, len(withTail))
+	if err != nil {
+		return LinkResult{}, err
+	}
+	decoded := ViterbiDecode(full, true)
+	descrambled := NewScrambler(0x5d).Apply(decoded[:infoBits])
+
+	res := LinkResult{BitsSent: infoBits, CodedBits: len(punctured), RawBitErrors: rawErrs}
+	for i := range info {
+		if descrambled[i] != info[i] {
+			res.BitErrors++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/ofdm"
+	"copa/internal/precoding"
+	"copa/internal/rng"
+)
+
+// mimoRig builds a 4x2 pair with nulling precoders and equal-split powers.
+func mimoRig(t testing.TB, seed int64, gainDB float64, null bool) (own, cross *channel.Link, tx1, tx2 *precoding.Transmission) {
+	t.Helper()
+	src := rng.New(seed)
+	imp := channel.PerfectHardware()
+	h11 := channel.NewLink(src.Split(1), 2, 4, channel.DBToLinear(gainDB))
+	h21 := channel.NewLink(src.Split(2), 2, 4, channel.DBToLinear(gainDB-6))
+	h22 := channel.NewLink(src.Split(3), 2, 4, channel.DBToLinear(gainDB))
+	h12 := channel.NewLink(src.Split(4), 2, 4, channel.DBToLinear(gainDB-6))
+
+	var p1, p2 *precoding.Precoder
+	var err error
+	if null {
+		if p1, err = precoding.Nulling(h11, h12, 2); err != nil {
+			t.Fatal(err)
+		}
+		if p2, err = precoding.Nulling(h22, h21, 2); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if p1, err = precoding.Beamforming(h11, 2); err != nil {
+			t.Fatal(err)
+		}
+		if p2, err = precoding.Beamforming(h22, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := channel.BudgetForAntennasMW(4)
+	powers := precoding.EqualSplit(ofdm.NumSubcarriers, 2, budget)
+	tx1 = precoding.NewTransmission(p1, powers, imp)
+	tx2 = precoding.NewTransmission(p2, powers, imp)
+	return h11, h21, tx1, tx2
+}
+
+func TestSimulateMIMOSoloHighSNRErrorFree(t *testing.T) {
+	own, _, tx1, _ := mimoRig(t, 1, -55, false)
+	res, err := SimulateMIMO(rng.New(2), own, tx1, nil, nil, channel.NoisePerSubcarrierMW(), ofdm.Table()[4], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d streams", len(res))
+	}
+	for s, r := range res {
+		if r.BitErrors != 0 {
+			t.Errorf("stream %d: %d/%d errors at a strong link", s, r.BitErrors, r.BitsSent)
+		}
+		if r.MeanSINRDB < 20 {
+			t.Errorf("stream %d mean SINR %.1f dB unexpectedly low", s, r.MeanSINRDB)
+		}
+	}
+}
+
+func TestSimulateMIMOMatchesAnalyticBER(t *testing.T) {
+	// The headline validation: measured pre-decoder BER under real MMSE
+	// equalization with concurrent interference must track the analytic
+	// prediction from precoding.StreamSINRs + ofdm.UncodedBER.
+	// Weak link so raw errors are plentiful.
+	own, cross, tx1, tx2 := mimoRig(t, 3, -78, true)
+	res, err := SimulateMIMO(rng.New(4), own, tx1, cross, tx2, channel.NoisePerSubcarrierMW(), ofdm.Table()[3], 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, r := range res {
+		if r.RawBitErrors < 30 {
+			t.Logf("stream %d: only %d raw errors; comparison weak", s, r.RawBitErrors)
+			continue
+		}
+		got, want := r.RawBER(), r.PredictedRawBER
+		if d := math.Abs(math.Log10(got) - math.Log10(want)); d > 0.35 {
+			t.Errorf("stream %d: measured raw BER %.3g vs predicted %.3g (Δlog10=%.2f)",
+				s, got, want, d)
+		}
+	}
+}
+
+func TestSimulateMIMOInterferenceHurts(t *testing.T) {
+	own, cross, tx1, tx2 := mimoRig(t, 5, -72, false) // beamforming: full cross-interference
+	noise := channel.NoisePerSubcarrierMW()
+	alone, err := SimulateMIMO(rng.New(6), own, tx1, nil, nil, noise, ofdm.Table()[4], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := SimulateMIMO(rng.New(6), own, tx1, cross, tx2, noise, ofdm.Table()[4], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aErr, aBits := rawErrorsTotal(alone)
+	cErr, cBits := rawErrorsTotal(crowded)
+	aBER := float64(aErr) / float64(aBits)
+	cBER := float64(cErr) / float64(cBits)
+	if cBER <= aBER {
+		t.Errorf("interference did not raise raw BER: alone %.3g, crowded %.3g", aBER, cBER)
+	}
+}
+
+func TestSimulateMIMONullingProtects(t *testing.T) {
+	// With the interferer nulling (perfect CSI), the victim's BER under
+	// concurrency should be close to its solo BER.
+	own, cross, tx1, tx2 := mimoRig(t, 7, -72, true)
+	noise := channel.NoisePerSubcarrierMW()
+	alone, err := SimulateMIMO(rng.New(8), own, tx1, nil, nil, noise, ofdm.Table()[3], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := SimulateMIMO(rng.New(8), own, tx1, cross, tx2, noise, ofdm.Table()[3], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aErr, aBits := rawErrorsTotal(alone)
+	cErr, _ := rawErrorsTotal(crowded)
+	aBER := float64(aErr+1) / float64(aBits)
+	cBER := float64(cErr+1) / float64(aBits)
+	if cBER > aBER*5 {
+		t.Errorf("perfectly nulled interference still hurt: alone %.3g, crowded %.3g", aBER, cBER)
+	}
+}
+
+func TestSimulateMIMORejectsDrops(t *testing.T) {
+	own, _, tx1, _ := mimoRig(t, 9, -60, false)
+	tx1.PowerMW[3][1] = 0
+	if _, err := SimulateMIMO(rng.New(10), own, tx1, nil, nil, channel.NoisePerSubcarrierMW(), ofdm.Table()[0], 2); err == nil {
+		t.Error("dropped subcarrier should be rejected")
+	}
+}
+
+func BenchmarkSimulateMIMO(b *testing.B) {
+	own, cross, tx1, tx2 := mimoRig(b, 11, -70, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMIMO(rng.New(int64(i)), own, tx1, cross, tx2, channel.NoisePerSubcarrierMW(), ofdm.Table()[3], 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

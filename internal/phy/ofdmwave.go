@@ -1,0 +1,147 @@
+package phy
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"copa/internal/ofdm"
+)
+
+// Waveform-level OFDM: the 64-point IFFT/FFT pair, cyclic prefix handling,
+// and time-domain channel convolution. This closes the lowest loop in the
+// simulator: the frequency-domain channel model (per-subcarrier matrices
+// from the DFT of the taps) must agree with literally convolving the
+// transmitted waveform with those taps — see TestWaveformMatchesFrequencyModel.
+
+// fftRadix2 computes an in-place radix-2 Cooley–Tukey FFT of x
+// (len must be a power of two); inverse=true gives the unscaled IDFT.
+func fftRadix2(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return errors.New("phy: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// FFT returns the DFT of x (len must be a power of two).
+func FFT(x []complex128) ([]complex128, error) {
+	out := append([]complex128(nil), x...)
+	if err := fftRadix2(out, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IFFT returns the inverse DFT of x, scaled by 1/N.
+func IFFT(x []complex128) ([]complex128, error) {
+	out := append([]complex128(nil), x...)
+	if err := fftRadix2(out, true); err != nil {
+		return nil, err
+	}
+	scale := complex(1/float64(len(out)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}
+
+// cpSamples is the 800 ns cyclic prefix at the 20 MHz sample rate.
+const cpSamples = 16
+
+// OFDMModulate places one symbol's data-subcarrier values onto the
+// 64-bin grid (using the HT bin layout of package channel), IFFTs, and
+// prepends the cyclic prefix. data must have ofdm.NumSubcarriers entries.
+func OFDMModulate(data []complex128) ([]complex128, error) {
+	if len(data) != ofdm.NumSubcarriers {
+		return nil, errors.New("phy: OFDMModulate wants one value per data subcarrier")
+	}
+	grid := make([]complex128, ofdm.FFTSize)
+	for k, v := range data {
+		grid[binIndex(k)] = v
+	}
+	td, err := IFFT(grid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, ofdm.FFTSize+cpSamples)
+	out = append(out, td[ofdm.FFTSize-cpSamples:]...)
+	out = append(out, td...)
+	return out, nil
+}
+
+// OFDMDemodulate strips the cyclic prefix, FFTs, and extracts the data
+// subcarriers.
+func OFDMDemodulate(samples []complex128) ([]complex128, error) {
+	if len(samples) != ofdm.FFTSize+cpSamples {
+		return nil, errors.New("phy: OFDMDemodulate wants one CP-prefixed symbol")
+	}
+	fd, err := FFT(samples[cpSamples:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, ofdm.NumSubcarriers)
+	for k := range out {
+		out[k] = fd[binIndex(k)]
+	}
+	return out, nil
+}
+
+// binIndex maps data subcarrier k to its FFT bin (DC excluded), matching
+// the channel model's layout: bins −26…−1 and 1…26 modulo 64.
+func binIndex(k int) int {
+	bin := k - ofdm.NumSubcarriers/2
+	if bin >= 0 {
+		bin++
+	}
+	if bin < 0 {
+		bin += ofdm.FFTSize
+	}
+	return bin
+}
+
+// ConvolveCircularSafe convolves samples with taps (linear convolution,
+// output truncated to len(samples)); with a cyclic prefix at least as
+// long as the channel, the post-CP portion equals circular convolution —
+// the property OFDM relies on.
+func ConvolveCircularSafe(samples, taps []complex128) []complex128 {
+	out := make([]complex128, len(samples))
+	for n := range out {
+		var acc complex128
+		for l, h := range taps {
+			if n-l >= 0 {
+				acc += h * samples[n-l]
+			}
+		}
+		out[n] = acc
+	}
+	return out
+}

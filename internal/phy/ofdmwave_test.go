@@ -1,0 +1,191 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/ofdm"
+	"copa/internal/rng"
+)
+
+func TestFFTKnown(t *testing.T) {
+	// DFT of an impulse is all-ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// DFT of a constant is an impulse at DC.
+	for i := range x {
+		x[i] = 2
+	}
+	got, _ = FFT(x)
+	if cmplx.Abs(got[0]-16) > 1e-12 {
+		t.Errorf("DC bin %v, want 16", got[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(got[i]) > 1e-12 {
+			t.Errorf("bin %d nonzero: %v", i, got[i])
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = src.CN(1)
+	}
+	fd, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := IFFT(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(back[i]-x[i]) > 1e-10 {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := FFT(make([]complex128, 52)); err == nil {
+		t.Error("52-point FFT should fail")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty FFT should fail")
+	}
+}
+
+func TestOFDMModulateRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	data := make([]complex128, ofdm.NumSubcarriers)
+	for i := range data {
+		data[i] = src.CN(1)
+	}
+	wave, err := OFDMModulate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != ofdm.FFTSize+cpSamples {
+		t.Fatalf("waveform length %d", len(wave))
+	}
+	// CP is a copy of the tail.
+	for i := 0; i < cpSamples; i++ {
+		if cmplx.Abs(wave[i]-wave[ofdm.FFTSize+i]) > 1e-12 {
+			t.Fatal("cyclic prefix mismatch")
+		}
+	}
+	back, err := OFDMDemodulate(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range data {
+		if cmplx.Abs(back[k]-data[k]) > 1e-10 {
+			t.Fatalf("subcarrier %d: %v vs %v", k, back[k], data[k])
+		}
+	}
+}
+
+// TestWaveformMatchesFrequencyModel is the bedrock cross-check: sending a
+// real OFDM waveform through time-domain convolution with the channel's
+// taps must produce, after demodulation, exactly the per-subcarrier
+// multiplication by the channel model's frequency response. If this
+// holds, every SINR in the repository is grounded in waveform physics.
+func TestWaveformMatchesFrequencyModel(t *testing.T) {
+	src := rng.New(3)
+	link := channel.NewLink(src.Split(1), 1, 1, 1)
+
+	// The channel's taps for the single antenna pair, as a time-domain
+	// filter.
+	taps := make([]complex128, channel.NumTaps)
+	for l := 0; l < channel.NumTaps; l++ {
+		taps[l] = link.Taps[l].At(0, 0)
+	}
+
+	data := make([]complex128, ofdm.NumSubcarriers)
+	for i := range data {
+		data[i] = src.CN(1)
+	}
+	wave, err := OFDMModulate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := ConvolveCircularSafe(wave, taps)
+	got, err := OFDMDemodulate(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for k := range data {
+		want := link.Subcarriers[k].At(0, 0) * data[k]
+		if d := cmplx.Abs(got[k] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("waveform vs frequency model: worst deviation %g", worst)
+	}
+}
+
+// TestWaveformCPAbsorbsDelaySpread: without enough cyclic prefix the
+// equality above would break; verify the CP covers the 8-tap channel.
+func TestWaveformCPAbsorbsDelaySpread(t *testing.T) {
+	if channel.NumTaps > cpSamples {
+		t.Fatalf("channel has %d taps but the CP only covers %d samples", channel.NumTaps, cpSamples)
+	}
+}
+
+func TestWaveformPAPRReasonable(t *testing.T) {
+	// §4.1 notes subcarrier selection could raise PAPR but scrambled data
+	// keeps it in check. Measure PAPR with and without ~8 dropped
+	// subcarriers: it should stay within the usual OFDM range (< ~13 dB).
+	src := rng.New(4)
+	papr := func(drop bool) float64 {
+		worst := 0.0
+		for trial := 0; trial < 50; trial++ {
+			data := make([]complex128, ofdm.NumSubcarriers)
+			for i := range data {
+				data[i] = src.CN(1)
+			}
+			if drop {
+				for i := 0; i < 8; i++ {
+					data[i*6] = 0
+				}
+			}
+			wave, err := OFDMModulate(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var peak, mean float64
+			for _, s := range wave {
+				p := real(s)*real(s) + imag(s)*imag(s)
+				mean += p
+				if p > peak {
+					peak = p
+				}
+			}
+			mean /= float64(len(wave))
+			if r := 10 * math.Log10(peak/mean); r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	full, dropped := papr(false), papr(true)
+	if dropped > 14 || full > 14 {
+		t.Errorf("PAPR out of OFDM range: full %.1f dB, dropped %.1f dB", full, dropped)
+	}
+	t.Logf("worst PAPR: full %.1f dB, with drops %.1f dB", full, dropped)
+}

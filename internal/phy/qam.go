@@ -1,0 +1,128 @@
+package phy
+
+import (
+	"math"
+
+	"copa/internal/ofdm"
+)
+
+// grayPAM returns the unit-spacing Gray-coded PAM levels for b bits per
+// dimension, index = Gray code of the level's bit pattern.
+// For b=1: {−1, +1}; b=2: {−3, −1, +1, +3}; b=3: {−7 … +7}.
+func grayPAM(b int) []float64 {
+	n := 1 << b
+	levels := make([]float64, n)
+	for code := 0; code < n; code++ {
+		// level index i (0..n-1 in amplitude order) has Gray code
+		// g = i ^ (i>>1). Invert: find i for each code.
+		i := 0
+		for j := 0; j < n; j++ {
+			if j^(j>>1) == code {
+				i = j
+				break
+			}
+		}
+		levels[code] = float64(2*i - (n - 1))
+	}
+	return levels
+}
+
+// qamParams returns per-dimension bit count and the power normalization
+// for a constellation (unit average symbol energy).
+func qamParams(m ofdm.Modulation) (bitsI, bitsQ int, norm float64) {
+	switch m {
+	case ofdm.BPSK:
+		return 1, 0, 1
+	case ofdm.QPSK:
+		return 1, 1, math.Sqrt2
+	case ofdm.QAM16:
+		return 2, 2, math.Sqrt(10)
+	case ofdm.QAM64:
+		return 3, 3, math.Sqrt(42)
+	}
+	panic("phy: unknown modulation")
+}
+
+// Map modulates coded bits onto constellation symbols (unit average
+// energy). Bits are consumed MSB-first per dimension: first the I bits,
+// then the Q bits. len(bits) must be a multiple of BitsPerSymbol.
+func Map(m ofdm.Modulation, bits []byte) []complex128 {
+	bi, bq, norm := qamParams(m)
+	per := bi + bq
+	if len(bits)%per != 0 {
+		panic("phy: bit count not a multiple of bits per symbol")
+	}
+	pamI := grayPAM(bi)
+	var pamQ []float64
+	if bq > 0 {
+		pamQ = grayPAM(bq)
+	}
+	out := make([]complex128, len(bits)/per)
+	for s := range out {
+		chunk := bits[s*per : (s+1)*per]
+		ci := 0
+		for _, b := range chunk[:bi] {
+			ci = ci<<1 | int(b&1)
+		}
+		re := pamI[ci]
+		im := 0.0
+		if bq > 0 {
+			cq := 0
+			for _, b := range chunk[bi:] {
+				cq = cq<<1 | int(b&1)
+			}
+			im = pamQ[cq]
+		}
+		out[s] = complex(re/norm, im/norm)
+	}
+	return out
+}
+
+// DemapLLR computes per-bit max-log LLRs (log P(bit=0) − log P(bit=1))
+// for received symbols y = x + n with noise variance noiseVar per complex
+// dimension pair (i.e. total complex noise power). Output order matches
+// Map's bit order.
+func DemapLLR(m ofdm.Modulation, symbols []complex128, noiseVar float64) []float64 {
+	bi, bq, norm := qamParams(m)
+	per := bi + bq
+	if noiseVar <= 0 {
+		noiseVar = 1e-12
+	}
+	pamI := grayPAM(bi)
+	var pamQ []float64
+	if bq > 0 {
+		pamQ = grayPAM(bq)
+	}
+	out := make([]float64, 0, len(symbols)*per)
+	// Per-dimension noise variance is half the complex noise power.
+	sigma2 := noiseVar / 2
+	if bq == 0 {
+		sigma2 = noiseVar // BPSK: all information in I, noise still complex
+	}
+	dimLLR := func(y float64, pam []float64, bits int) []float64 {
+		llrs := make([]float64, bits)
+		for bit := 0; bit < bits; bit++ {
+			best0, best1 := math.Inf(1), math.Inf(1)
+			for code, lvl := range pam {
+				d := y - lvl/norm
+				dist := d * d
+				if (code>>(bits-1-bit))&1 == 0 {
+					if dist < best0 {
+						best0 = dist
+					}
+				} else if dist < best1 {
+					best1 = dist
+				}
+			}
+			llrs[bit] = (best1 - best0) / (2 * sigma2)
+		}
+		return llrs
+	}
+	for _, y := range symbols {
+		out = append(out, dimLLR(real(y), pamI, bi)...)
+		if bq > 0 {
+			out = append(out, dimLLR(imag(y), pamQ, bq)...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package phy implements a bit-true 802.11 baseband chain: the
+// frame-synchronous scrambler, the K=7 (133,171) convolutional encoder
+// with the standard puncturing patterns, the per-symbol block interleaver,
+// Gray-mapped QAM modulation with soft (max-log LLR) demapping, and a
+// soft-decision Viterbi decoder. The testbed's throughput predictions use
+// the analytic BER models in package ofdm; this package exists to validate
+// those models bit-by-bit (see the phyber example and the cross-check
+// tests) and to make the simulated transmissions real enough to decode.
+package phy
+
+// Scrambler is the 802.11 frame-synchronous scrambler: a 7-bit LFSR with
+// polynomial x⁷ + x⁴ + 1. Scrambling is an involution: running the same
+// state over scrambled data descrambles it.
+type Scrambler struct {
+	state uint8 // 7-bit shift register, never zero
+}
+
+// NewScrambler returns a scrambler seeded with the given 7-bit state
+// (seed 0 is replaced by the all-ones state, as a zero state would lock
+// the LFSR).
+func NewScrambler(seed uint8) *Scrambler {
+	seed &= 0x7f
+	if seed == 0 {
+		seed = 0x7f
+	}
+	return &Scrambler{state: seed}
+}
+
+// NextBit advances the LFSR and returns the next scrambling bit.
+func (s *Scrambler) NextBit() byte {
+	b := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | b) & 0x7f
+	return b
+}
+
+// Apply scrambles (or descrambles) bits in place and returns them.
+func (s *Scrambler) Apply(bits []byte) []byte {
+	for i := range bits {
+		bits[i] ^= s.NextBit()
+	}
+	return bits
+}

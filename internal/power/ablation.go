@@ -1,0 +1,74 @@
+package power
+
+import (
+	"sort"
+
+	"copa/internal/ofdm"
+)
+
+// The paper reports (§4.2) that COPA-SEQ's gain over CSMA comes from two
+// separable mechanisms — dropping hopeless subcarriers, and equalizing
+// power among the kept ones — and that "either one, by itself gives about
+// 60-70% of the improvement, but both are needed together for the full
+// benefits". These allocators isolate each mechanism so the claim can be
+// reproduced (see BenchmarkAblationDropVsAlloc).
+
+// DropOnly performs subcarrier selection without power re-allocation: for
+// every candidate drop count the dropped subcarriers' equal-split power is
+// redistributed uniformly (not SINR-shaped) over the kept ones.
+func DropOnly(coef []float64, budgetMW float64) Allocation {
+	n := len(coef)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return coef[order[a]] < coef[order[b]] })
+
+	best := Allocation{PowerMW: make([]float64, n)}
+	for drop := 0; drop < n; drop++ {
+		kept := n - drop
+		per := budgetMW / float64(kept)
+		powers := make([]float64, n)
+		for _, k := range order[drop:] {
+			powers[k] = per
+		}
+		rate := ofdm.BestRate(predictedSINRs(powers, coef))
+		if rate.GoodputBps > best.Rate.GoodputBps {
+			best = Allocation{PowerMW: powers, Rate: rate, Dropped: drop}
+		}
+	}
+	if best.Rate.GoodputBps == 0 {
+		return NoPA(coef, budgetMW)
+	}
+	return best
+}
+
+// EqualizeOnly performs power allocation without subcarrier selection:
+// the full budget is shaped to equalize SINR across *all* subcarriers —
+// no matter how hopeless — exactly Algorithm 1 with the drop loop removed.
+func EqualizeOnly(coef []float64, budgetMW float64) Allocation {
+	n := len(coef)
+	var invSum float64
+	usable := 0
+	for _, g := range coef {
+		if g > 0 {
+			invSum += 1 / g
+			usable++
+		}
+	}
+	if usable == 0 {
+		return NoPA(coef, budgetMW)
+	}
+	target := budgetMW / invSum
+	powers := make([]float64, n)
+	for k, g := range coef {
+		if g > 0 {
+			powers[k] = target / g
+		}
+	}
+	return Allocation{
+		PowerMW: powers,
+		Rate:    ofdm.BestRate(predictedSINRs(powers, coef)),
+		Dropped: n - usable,
+	}
+}

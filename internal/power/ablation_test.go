@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/ofdm"
+)
+
+// dispersedCoefs builds a coefficient vector with a handful of disastrous
+// subcarriers on an otherwise strong channel — the regime where both of
+// COPA's mechanisms matter.
+func dispersedCoefs() []float64 {
+	coef := make([]float64, ofdm.NumSubcarriers)
+	for i := range coef {
+		coef[i] = channel.DBToLinear(float64(26 + (i*7)%8))
+	}
+	for i := 0; i < 6; i++ {
+		coef[i*8] = channel.DBToLinear(-2)
+	}
+	return coef
+}
+
+func TestDropOnlyDropsButDoesNotShape(t *testing.T) {
+	coef := dispersedCoefs()
+	a := DropOnly(coef, 31.6)
+	if a.Dropped == 0 {
+		t.Error("DropOnly should drop the disastrous subcarriers")
+	}
+	// All kept subcarriers carry identical power.
+	var per float64
+	for _, p := range a.PowerMW {
+		if p > 0 {
+			if per == 0 {
+				per = p
+			} else if math.Abs(p-per) > 1e-12*per {
+				t.Fatal("DropOnly must not shape power")
+			}
+		}
+	}
+	if math.Abs(budgetOf(a)-31.6) > 1e-9 {
+		t.Errorf("budget %g", budgetOf(a))
+	}
+}
+
+func TestEqualizeOnlyKeepsEverything(t *testing.T) {
+	coef := dispersedCoefs()
+	a := EqualizeOnly(coef, 31.6)
+	if a.Dropped != 0 {
+		t.Errorf("EqualizeOnly dropped %d subcarriers", a.Dropped)
+	}
+	// SINR equalized across all subcarriers.
+	target := a.PowerMW[0] * coef[0]
+	for k, p := range a.PowerMW {
+		if math.Abs(p*coef[k]-target) > 1e-9*target {
+			t.Fatal("SINR not equalized")
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// The paper's claim (§4.2): each mechanism alone recovers part of the
+	// gain; together (EquiSNR) they recover all of it. So on a channel
+	// with both dispersion and dead subcarriers:
+	//   NoPA ≤ DropOnly ≤ EquiSNR  and  NoPA ≤ EqualizeOnly ≤ EquiSNR.
+	coef := dispersedCoefs()
+	budget := 31.6
+	nopa := NoPA(coef, budget).Rate.GoodputBps
+	drop := DropOnly(coef, budget).Rate.GoodputBps
+	eq := EqualizeOnly(coef, budget).Rate.GoodputBps
+	full := EquiSNR(coef, budget).Rate.GoodputBps
+	if !(nopa <= drop+1 && drop <= full+1) {
+		t.Errorf("ordering violated: NoPA %.1f, DropOnly %.1f, EquiSNR %.1f (Mb/s)",
+			nopa/1e6, drop/1e6, full/1e6)
+	}
+	if !(nopa <= eq+1 && eq <= full+1) {
+		t.Errorf("ordering violated: NoPA %.1f, EqualizeOnly %.1f, EquiSNR %.1f (Mb/s)",
+			nopa/1e6, eq/1e6, full/1e6)
+	}
+	if full <= nopa {
+		t.Error("EquiSNR should beat NoPA on this channel")
+	}
+}
+
+func TestAblationPartialGains(t *testing.T) {
+	// Averaged over random channel draws, each single mechanism should
+	// recover a substantial-but-partial share of EquiSNR's gain over
+	// NoPA (the paper says ~60-70%).
+	var gainDrop, gainEq, gainFull float64
+	n := 0
+	for trial := 0; trial < 40; trial++ {
+		coef := make([]float64, ofdm.NumSubcarriers)
+		x := float64(trial)*1.7 + 3
+		for i := range coef {
+			x = math.Mod(x*2.3+5, 30)
+			coef[i] = channel.DBToLinear(x + 2)
+		}
+		budget := 31.6
+		nopa := NoPA(coef, budget).Rate.GoodputBps
+		if nopa <= 0 {
+			continue
+		}
+		n++
+		gainDrop += DropOnly(coef, budget).Rate.GoodputBps - nopa
+		gainEq += EqualizeOnly(coef, budget).Rate.GoodputBps - nopa
+		gainFull += EquiSNR(coef, budget).Rate.GoodputBps - nopa
+	}
+	if n == 0 || gainFull <= 0 {
+		t.Fatal("no usable trials")
+	}
+	fracDrop := gainDrop / gainFull
+	fracEq := gainEq / gainFull
+	t.Logf("drop-only recovers %.0f%%, equalize-only %.0f%% of the full gain", fracDrop*100, fracEq*100)
+	if fracDrop < 0.1 || fracDrop > 1.01 {
+		t.Errorf("drop-only fraction %.2f out of plausible range", fracDrop)
+	}
+	if fracEq < 0.05 || fracEq > 1.01 {
+		t.Errorf("equalize-only fraction %.2f out of plausible range", fracEq)
+	}
+}

@@ -1,0 +1,225 @@
+package power
+
+import (
+	"math"
+
+	"copa/internal/channel"
+	"copa/internal/ofdm"
+	"copa/internal/precoding"
+)
+
+// InnerAllocator is the single-stream allocation step plugged into the
+// Equi-SINR iteration: EquiSNR for COPA, MercuryBest for COPA+.
+type InnerAllocator func(coef []float64, budgetMW float64) Allocation
+
+// SenderCSI bundles the channel knowledge the leader AP has about one
+// sender when computing a joint allocation (all links are CSI estimates,
+// not ground truth).
+type SenderCSI struct {
+	// Own is the sender → its-own-client channel estimate.
+	Own *channel.Link
+	// Cross is the sender → other-client channel estimate; nil when the
+	// sender is transmitting alone.
+	Cross *channel.Link
+	// Precoder is the sender's chosen spatial profile.
+	Precoder *precoding.Precoder
+	// BudgetMW is the sender's total transmit power budget.
+	BudgetMW float64
+}
+
+// Config parameterizes the iterative allocation.
+type Config struct {
+	Impairments  channel.Impairments
+	NoisePerSCMW float64
+	// MaxIters bounds the Equi-SINR iteration (Fig. 6); the paper's
+	// algorithm iterates until convergence or a limit.
+	MaxIters int
+	// Inner is the per-stream allocator; defaults to EquiSNR.
+	Inner InnerAllocator
+	// JointInner, when set, replaces the per-stream loop entirely with a
+	// joint allocation over all (subcarrier, stream) cells (see
+	// JointAware). Inner is ignored for senders with >1 stream when set.
+	JointInner func(coefs [][]float64, budgetPerStreamMW float64) [][]float64
+}
+
+// DefaultConfig returns the standard COPA allocation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Impairments:  channel.DefaultImpairments(),
+		NoisePerSCMW: channel.NoisePerSubcarrierMW(),
+		MaxIters:     12,
+		Inner:        EquiSNR,
+	}
+}
+
+func (c *Config) inner() InnerAllocator {
+	if c.Inner == nil {
+		return EquiSNR
+	}
+	return c.Inner
+}
+
+// Result is the outcome of a joint (or solo) allocation.
+type Result struct {
+	// Tx[i] is sender i's finished transmission descriptor.
+	Tx []*precoding.Transmission
+	// StreamRates[i] are sender i's predicted per-stream rates (on the
+	// CSI estimates the allocation was computed from).
+	StreamRates [][]ofdm.StreamRate
+	// Goodput[i] is the predicted total goodput of sender i in bits/s.
+	Goodput []float64
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether the iteration settled before MaxIters.
+	Converged bool
+}
+
+// Aggregate returns the predicted aggregate goodput across senders.
+func (r *Result) Aggregate() float64 {
+	var t float64
+	for _, g := range r.Goodput {
+		t += g
+	}
+	return t
+}
+
+// Sequential allocates power for a sender transmitting alone (COPA-SEQ's
+// building block): Equi-SNR per stream, iterated a few times so that
+// inter-stream interference between the sender's own MIMO streams is
+// accounted for.
+func Sequential(s SenderCSI, cfg Config) *Result {
+	return iterate([]SenderCSI{s}, cfg)
+}
+
+// Concurrent jointly allocates power for two senders transmitting
+// concurrently (§3.2.1, Fig. 6): starting from equal split, each stream
+// of each sender is re-allocated against the interference implied by the
+// other streams' current allocation; the cross-interference is then
+// recomputed and the process iterates. Because the per-stream steps are
+// independent the iteration may regress, so the best solution seen (by
+// predicted aggregate goodput) is retained and returned.
+//
+// senders[0].Cross must be the channel from sender 0 to client 1 and vice
+// versa.
+func Concurrent(senders [2]SenderCSI, cfg Config) *Result {
+	return iterate(senders[:], cfg)
+}
+
+func iterate(senders []SenderCSI, cfg Config) *Result {
+	n := len(senders)
+	nSC := len(senders[0].Own.Subcarriers)
+	inner := cfg.inner()
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 12
+	}
+
+	// Working transmissions: equal split start (the paper's assumption
+	// about the other sender's initial behaviour).
+	tx := make([]*precoding.Transmission, n)
+	for i, s := range senders {
+		tx[i] = precoding.NewTransmission(s.Precoder,
+			precoding.EqualSplit(nSC, s.Precoder.Streams, s.BudgetMW), cfg.Impairments)
+	}
+
+	crossFor := func(i int) (*channel.Link, *precoding.Transmission) {
+		if n == 1 {
+			return nil, nil
+		}
+		j := 1 - i
+		if senders[j].Cross == nil {
+			return nil, nil
+		}
+		return senders[j].Cross, tx[j]
+	}
+
+	evaluate := func() ([][]ofdm.StreamRate, []float64) {
+		rates := make([][]ofdm.StreamRate, n)
+		goodput := make([]float64, n)
+		for i, s := range senders {
+			cl, ct := crossFor(i)
+			rates[i] = StreamRatesFor(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+			// Score with the joint (single-MCS-across-streams) rate the
+			// client will actually decode at.
+			goodput[i] = GoodputFor(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+		}
+		return rates, goodput
+	}
+
+	best := &Result{}
+	snapshot := func(iter int, converged bool) {
+		rates, goodput := evaluate()
+		var agg float64
+		for _, g := range goodput {
+			agg += g
+		}
+		if best.Tx == nil || agg > best.Aggregate() {
+			cp := make([]*precoding.Transmission, n)
+			for i := range tx {
+				powers := make([][]float64, nSC)
+				for k := range powers {
+					powers[k] = append([]float64(nil), tx[i].PowerMW[k]...)
+				}
+				cp[i] = precoding.NewTransmission(senders[i].Precoder, powers, cfg.Impairments)
+			}
+			best.Tx = cp
+			best.StreamRates = rates
+			best.Goodput = goodput
+		}
+		best.Iterations = iter
+		best.Converged = converged
+	}
+	snapshot(0, false)
+
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Jacobi step: every stream of every sender re-allocates against
+		// the interference of the *current* state; all updates then land
+		// together.
+		newPowers := make([][][]float64, n)
+		var maxDelta float64
+		for i, s := range senders {
+			cl, ct := crossFor(i)
+			coefs := precoding.SINRCoefficients(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+			streams := s.Precoder.Streams
+			perStream := s.BudgetMW / float64(streams)
+			var np [][]float64
+			if cfg.JointInner != nil && streams > 1 {
+				np = cfg.JointInner(coefs, perStream)
+				for k := range np {
+					for st := range np[k] {
+						if d := math.Abs(np[k][st] - tx[i].PowerMW[k][st]); d > maxDelta {
+							maxDelta = d
+						}
+					}
+				}
+			} else {
+				np = make([][]float64, nSC)
+				for k := range np {
+					np[k] = make([]float64, streams)
+				}
+				col := make([]float64, nSC)
+				for st := 0; st < streams; st++ {
+					for k := range coefs {
+						col[k] = coefs[k][st]
+					}
+					alloc := inner(col, perStream)
+					for k := range np {
+						np[k][st] = alloc.PowerMW[k]
+						if d := math.Abs(alloc.PowerMW[k] - tx[i].PowerMW[k][st]); d > maxDelta {
+							maxDelta = d
+						}
+					}
+				}
+			}
+			newPowers[i] = np
+		}
+		for i := range tx {
+			tx[i] = precoding.NewTransmission(senders[i].Precoder, newPowers[i], cfg.Impairments)
+		}
+		converged := maxDelta < 1e-9*senders[0].BudgetMW
+		snapshot(iter, converged)
+		if converged {
+			break
+		}
+	}
+	return best
+}

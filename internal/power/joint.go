@@ -1,0 +1,115 @@
+package power
+
+import (
+	"sort"
+
+	"copa/internal/ofdm"
+)
+
+// JointAware is an extension beyond the paper's Equi-SNR inner step: the
+// paper picks each stream's drop count against a per-stream rate model,
+// but the 802.11 receiver decodes all streams with one MCS, so the truly
+// binding metric is the joint rate. JointAware allocates both streams'
+// budgets together: it sorts every (subcarrier, stream) cell by quality,
+// sweeps joint drop counts, equalizes SINR over the kept cells of each
+// stream separately (budgets stay per-stream — the PA constraint), and
+// keeps the drop set maximizing the joint-MCS throughput.
+//
+// Used as an ablation (BenchmarkAblationJointAware) to quantify how much
+// the paper's per-stream heuristic leaves on the table.
+func JointAware(coefs [][]float64, budgetPerStreamMW float64) [][]float64 {
+	nSC := len(coefs)
+	if nSC == 0 {
+		return nil
+	}
+	streams := len(coefs[0])
+
+	type cell struct {
+		k, s int
+		coef float64
+	}
+	cells := make([]cell, 0, nSC*streams)
+	for k := 0; k < nSC; k++ {
+		for s := 0; s < streams; s++ {
+			cells = append(cells, cell{k, s, coefs[k][s]})
+		}
+	}
+	sort.SliceStable(cells, func(a, b int) bool { return cells[a].coef < cells[b].coef })
+
+	best := -1.0
+	var bestPowers [][]float64
+	// Sweep joint drop counts with a coarse-to-fine step to keep the
+	// cost near the per-stream algorithm's.
+	step := 1
+	if nSC*streams > 64 {
+		step = 2
+	}
+	for drop := 0; drop < nSC*streams; drop += step {
+		keep := make([][]bool, nSC)
+		for k := range keep {
+			keep[k] = make([]bool, streams)
+		}
+		for _, c := range cells[drop:] {
+			keep[c.k][c.s] = true
+		}
+		// Equalize per stream over its kept cells.
+		powers := make([][]float64, nSC)
+		for k := range powers {
+			powers[k] = make([]float64, streams)
+		}
+		feasible := false
+		for s := 0; s < streams; s++ {
+			var invSum float64
+			cnt := 0
+			for k := 0; k < nSC; k++ {
+				if keep[k][s] && coefs[k][s] > 0 {
+					invSum += 1 / coefs[k][s]
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			feasible = true
+			target := budgetPerStreamMW / invSum
+			for k := 0; k < nSC; k++ {
+				if keep[k][s] && coefs[k][s] > 0 {
+					powers[k][s] = target / coefs[k][s]
+				}
+			}
+		}
+		if !feasible {
+			continue
+		}
+		// Joint rate on the implied SINRs.
+		sinrs := make([][]float64, nSC)
+		for k := 0; k < nSC; k++ {
+			row := make([]float64, streams)
+			for s := 0; s < streams; s++ {
+				if powers[k][s] > 0 {
+					row[s] = powers[k][s] * coefs[k][s]
+				} else {
+					row[s] = -1
+				}
+			}
+			sinrs[k] = row
+		}
+		if r := ofdm.JointBestRate(sinrs); r.GoodputBps > best {
+			best = r.GoodputBps
+			bestPowers = powers
+		}
+	}
+	if bestPowers == nil {
+		// Nothing decodable: fall back to equal split.
+		bestPowers = make([][]float64, nSC)
+		per := budgetPerStreamMW / float64(nSC)
+		for k := range bestPowers {
+			row := make([]float64, streams)
+			for s := range row {
+				row[s] = per
+			}
+			bestPowers[k] = row
+		}
+	}
+	return bestPowers
+}

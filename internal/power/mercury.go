@@ -1,0 +1,251 @@
+package power
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"copa/internal/ofdm"
+)
+
+// mmseTable tabulates the MMSE function of a discrete constellation:
+// mmse(γ) = E|x − E[x|y]|² for y = √γ·x + n, n ~ CN(0,1), with x drawn
+// uniformly from the unit-average-energy constellation. This is the
+// derivative of the constellation's mutual information with respect to
+// SNR (the I-MMSE relation), which is what mercury/water-filling levels.
+type mmseTable struct {
+	snr  []float64 // ascending γ grid
+	mmse []float64 // descending mmse values; mmse(0) = 1
+}
+
+// pamPoints returns the per-dimension PAM alphabet of a square QAM (or
+// BPSK/QPSK) constellation, scaled so the full complex constellation has
+// unit average energy. For BPSK the imaginary dimension carries nothing.
+func pamPoints(m ofdm.Modulation) (points []float64, dims int) {
+	switch m {
+	case ofdm.BPSK:
+		return []float64{-1, 1}, 1
+	case ofdm.QPSK:
+		s := 1 / math.Sqrt2
+		return []float64{-s, s}, 2
+	case ofdm.QAM16:
+		s := 1 / math.Sqrt(10)
+		return []float64{-3 * s, -s, s, 3 * s}, 2
+	case ofdm.QAM64:
+		s := 1 / math.Sqrt(42)
+		return []float64{-7 * s, -5 * s, -3 * s, -s, s, 3 * s, 5 * s, 7 * s}, 2
+	}
+	panic("power: unknown modulation")
+}
+
+// pamMMSE numerically computes the one-dimensional MMSE of estimating a
+// PAM symbol a from y = √γ·a + n, n ~ N(0, 1/2) (one dimension of unit
+// complex noise), by trapezoid integration over y.
+func pamMMSE(points []float64, gamma float64) float64 {
+	if gamma <= 0 {
+		// Prior variance of the PAM alphabet.
+		var mean, e2 float64
+		for _, a := range points {
+			mean += a
+			e2 += a * a
+		}
+		n := float64(len(points))
+		mean /= n
+		return e2/n - mean*mean
+	}
+	const sigma2 = 0.5
+	sg := math.Sqrt(gamma)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, a := range points {
+		lo = math.Min(lo, sg*a)
+		hi = math.Max(hi, sg*a)
+	}
+	span := 7 * math.Sqrt(sigma2)
+	lo, hi = lo-span, hi+span
+	const steps = 1600
+	dy := (hi - lo) / steps
+	prior := 1 / float64(len(points))
+	var integral float64
+	for i := 0; i <= steps; i++ {
+		y := lo + float64(i)*dy
+		var wsum, awsum float64
+		for _, a := range points {
+			d := y - sg*a
+			w := math.Exp(-d * d / (2 * sigma2))
+			wsum += w
+			awsum += a * w
+		}
+		if wsum == 0 {
+			continue
+		}
+		est := awsum / wsum
+		var val float64
+		for _, a := range points {
+			d := y - sg*a
+			w := math.Exp(-d*d/(2*sigma2)) / math.Sqrt(2*math.Pi*sigma2)
+			e := a - est
+			val += prior * w * e * e
+		}
+		weight := 1.0
+		if i == 0 || i == steps {
+			weight = 0.5
+		}
+		integral += weight * val * dy
+	}
+	return integral
+}
+
+var (
+	mmseTables   map[ofdm.Modulation]*mmseTable
+	mmseBuildOne sync.Once
+)
+
+// tableFor returns the (lazily built, cached) MMSE table for a modulation.
+func tableFor(m ofdm.Modulation) *mmseTable {
+	mmseBuildOne.Do(func() {
+		mmseTables = make(map[ofdm.Modulation]*mmseTable)
+		for _, mod := range []ofdm.Modulation{ofdm.BPSK, ofdm.QPSK, ofdm.QAM16, ofdm.QAM64} {
+			points, dims := pamPoints(mod)
+			const n = 140
+			t := &mmseTable{snr: make([]float64, 0, n+1), mmse: make([]float64, 0, n+1)}
+			t.snr = append(t.snr, 0)
+			t.mmse = append(t.mmse, pamMMSE(points, 0)*float64(dims))
+			for i := 0; i < n; i++ {
+				gamma := math.Pow(10, -3+7*float64(i)/(n-1)) // 1e-3 … 1e4
+				v := pamMMSE(points, gamma) * float64(dims)
+				t.snr = append(t.snr, gamma)
+				t.mmse = append(t.mmse, v)
+			}
+			// Enforce monotonicity against integration jitter.
+			for i := 1; i < len(t.mmse); i++ {
+				if t.mmse[i] > t.mmse[i-1] {
+					t.mmse[i] = t.mmse[i-1]
+				}
+			}
+			mmseTables[mod] = t
+		}
+	})
+	return mmseTables[m]
+}
+
+// MMSE returns the constellation's MMSE at linear SNR gamma, interpolated
+// from the table (exact 1.0 at gamma = 0, clamped to ~0 beyond the grid).
+func MMSE(m ofdm.Modulation, gamma float64) float64 {
+	t := tableFor(m)
+	if gamma <= 0 {
+		return t.mmse[0]
+	}
+	last := len(t.snr) - 1
+	if gamma >= t.snr[last] {
+		return t.mmse[last]
+	}
+	i := sort.SearchFloat64s(t.snr, gamma)
+	if i == 0 {
+		return t.mmse[0]
+	}
+	// Linear interpolation in log-γ.
+	g0, g1 := t.snr[i-1], t.snr[i]
+	var frac float64
+	if g0 == 0 {
+		frac = gamma / g1
+	} else {
+		frac = (math.Log(gamma) - math.Log(g0)) / (math.Log(g1) - math.Log(g0))
+	}
+	return t.mmse[i-1] + frac*(t.mmse[i]-t.mmse[i-1])
+}
+
+// mmseInverse returns the γ at which the constellation's MMSE equals v
+// (v ∈ (0, 1]), by bisection over the tabulated, monotone function.
+func mmseInverse(m ofdm.Modulation, v float64) float64 {
+	t := tableFor(m)
+	if v >= t.mmse[0] {
+		return 0
+	}
+	last := len(t.mmse) - 1
+	if v <= t.mmse[last] {
+		return t.snr[last]
+	}
+	lo, hi := 0.0, t.snr[last]
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if MMSE(m, mid) > v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MercuryWaterfill computes the optimal power allocation for a stream
+// carrying constellation m over subcarriers with SINR-per-mW coefficients
+// coef, under total budget budgetMW (Lozano–Tulino–Verdú mercury/water-
+// filling). The KKT condition is coef_k · mmse(p_k·coef_k) = λ for active
+// subcarriers; subcarriers with coef_k ≤ λ receive no power at all —
+// the built-in cutoff that subsumes subcarrier selection.
+func MercuryWaterfill(m ofdm.Modulation, coef []float64, budgetMW float64) Allocation {
+	spend := func(lambda float64) ([]float64, float64) {
+		powers := make([]float64, len(coef))
+		var total float64
+		for k, g := range coef {
+			if g <= lambda || g <= 0 {
+				continue
+			}
+			gamma := mmseInverse(m, lambda/g)
+			powers[k] = gamma / g
+			total += powers[k]
+		}
+		return powers, total
+	}
+
+	gmax := 0.0
+	for _, g := range coef {
+		gmax = math.Max(gmax, g)
+	}
+	if gmax <= 0 {
+		return NoPA(coef, budgetMW)
+	}
+	// λ → 0 spends everything available; λ → gmax spends nothing.
+	lo, hi := gmax*1e-15, gmax
+	for i := 0; i < 64; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: λ spans decades
+		if _, total := spend(mid); total > budgetMW {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	powers, total := spend(math.Sqrt(lo * hi))
+	// Normalize any residual budget error.
+	if total > 0 {
+		scale := budgetMW / total
+		for k := range powers {
+			powers[k] *= scale
+		}
+	}
+	dropped := 0
+	for _, p := range powers {
+		if p <= 0 {
+			dropped++
+		}
+	}
+	return Allocation{
+		PowerMW: powers,
+		Rate:    ofdm.BestRate(predictedSINRs(powers, coef)),
+		Dropped: dropped,
+	}
+}
+
+// MercuryBest runs mercury/water-filling for every constellation in the
+// MCS table and returns the allocation whose predicted 802.11 throughput
+// is highest — the inner step of the paper's COPA+ (§4.2).
+func MercuryBest(coef []float64, budgetMW float64) Allocation {
+	var best Allocation
+	for _, m := range []ofdm.Modulation{ofdm.BPSK, ofdm.QPSK, ofdm.QAM16, ofdm.QAM64} {
+		a := MercuryWaterfill(m, coef, budgetMW)
+		if a.Rate.GoodputBps > best.Rate.GoodputBps || best.PowerMW == nil {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,54 @@
+package power
+
+import (
+	"copa/internal/channel"
+	"copa/internal/ofdm"
+	"copa/internal/precoding"
+)
+
+// StreamRatesFor predicts the per-stream 802.11 rates a client achieves
+// for a given pair of concurrent transmissions: it computes post-MMSE
+// per-subcarrier SINRs over the supplied channels and picks the best MCS
+// per stream. cross/crossTx may be nil for a sole sender.
+func StreamRatesFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) []ofdm.StreamRate {
+	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	rates := make([]ofdm.StreamRate, tx.Precoder.Streams)
+	col := make([]float64, len(sinrs))
+	for s := range rates {
+		for k := range sinrs {
+			col[k] = sinrs[k][s]
+		}
+		rates[s] = ofdm.BestRate(col)
+	}
+	return rates
+}
+
+// ClientRateFor predicts the whole transmission's rate at a client under
+// 802.11n's equal-modulation constraint: a single MCS and decoder span
+// all spatial streams, so every used subcarrier–stream cell feeds one
+// frame (§2.1).
+func ClientRateFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) ofdm.JointRate {
+	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	return ofdm.JointBestRate(sinrs)
+}
+
+// GoodputFor is the goodput of the client's joint best rate.
+func GoodputFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) float64 {
+	return ClientRateFor(own, tx, cross, crossTx, noisePerSCMW).GoodputBps
+}
+
+// MultiDecoderGoodputFor predicts goodput when the receiver can run an
+// independent rate (and decoder) per subcarrier — the Fig. 14
+// hypothetical. Same SINR model as GoodputFor, different rate mapping.
+func MultiDecoderGoodputFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) float64 {
+	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	var total float64
+	col := make([]float64, len(sinrs))
+	for s := 0; s < tx.Precoder.Streams; s++ {
+		for k := range sinrs {
+			col[k] = sinrs[k][s]
+		}
+		total += ofdm.MultiDecoderThroughputBps(col)
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+package power
+
+import "copa/internal/ofdm"
+
+// Waterfill implements classic waterfilling, the capacity-optimal
+// allocation for Gaussian inputs (§2.1's reference point): p_k =
+// max(0, μ − 1/coef_k), with the water level μ set by bisection to spend
+// the budget. It is included as a baseline; the paper notes it performs
+// poorly for the discrete constellations practical radios transmit.
+func Waterfill(coef []float64, budgetMW float64) Allocation {
+	spend := func(mu float64) float64 {
+		var total float64
+		for _, g := range coef {
+			if g <= 0 {
+				continue
+			}
+			if p := mu - 1/g; p > 0 {
+				total += p
+			}
+		}
+		return total
+	}
+
+	// Bracket the water level.
+	lo, hi := 0.0, 1.0
+	for spend(hi) < budgetMW {
+		hi *= 2
+		if hi > 1e18 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if spend(mid) < budgetMW {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	mu := (lo + hi) / 2
+
+	powers := make([]float64, len(coef))
+	dropped := 0
+	for k, g := range coef {
+		if g > 0 {
+			if p := mu - 1/g; p > 0 {
+				powers[k] = p
+				continue
+			}
+		}
+		dropped++
+	}
+	return Allocation{
+		PowerMW: powers,
+		Rate:    ofdm.BestRate(predictedSINRs(powers, coef)),
+		Dropped: dropped,
+	}
+}

@@ -1,0 +1,162 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Children with different tags differ; same tag from same parent
+	// state matches.
+	p1, p2 := New(7), New(7)
+	c1, c2 := p1.Split(1), p2.Split(1)
+	for i := 0; i < 10; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("same split diverged")
+		}
+	}
+	p3 := New(7)
+	d := p3.Split(2)
+	same := true
+	e := New(7).Split(1)
+	for i := 0; i < 10; i++ {
+		if d.Float64() != e.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different tags produced identical streams")
+	}
+}
+
+func TestSplitDoesNotPerturbSiblingOrder(t *testing.T) {
+	// Drawing more values from one child must not change another child
+	// derived from a later parent state in a fixed call order.
+	mk := func(extraDraws int) float64 {
+		p := New(3)
+		c1 := p.Split(1)
+		for i := 0; i < extraDraws; i++ {
+			c1.Float64()
+		}
+		c2 := p.Split(2)
+		return c2.Float64()
+	}
+	if mk(0) != mk(50) {
+		t.Error("sibling stream perturbed by consumption in another child")
+	}
+}
+
+func TestCNVariance(t *testing.T) {
+	src := New(11)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := src.CN(4.0)
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-4.0) > 0.15 {
+		t.Errorf("CN variance %.3f, want 4.0", mean)
+	}
+}
+
+func TestRayleighMeanSquare(t *testing.T) {
+	src := New(13)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := src.Rayleigh(2.5)
+		if r < 0 {
+			t.Fatal("negative magnitude")
+		}
+		sum += r * r
+	}
+	if ms := sum / n; math.Abs(ms-2.5) > 0.1 {
+		t.Errorf("E[X²] = %.3f, want 2.5", ms)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := New(17)
+	for i := 0; i < 1000; i++ {
+		v := src.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	src := New(19)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if src.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency %.3f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%20)
+		perm := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleAndIntn(t *testing.T) {
+	src := New(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	src.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != len(orig) {
+		t.Error("shuffle lost elements")
+	}
+	for i := 0; i < 100; i++ {
+		if v := src.Intn(5); v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if src.Norm() == src.Norm() {
+		t.Error("Norm repeating")
+	}
+}
+
+func TestRayleighZeroGuard(t *testing.T) {
+	// The log(0) guard must never produce Inf/NaN over many draws.
+	src := New(29)
+	for i := 0; i < 10000; i++ {
+		r := src.Rayleigh(1)
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatal("Rayleigh produced Inf/NaN")
+		}
+	}
+}

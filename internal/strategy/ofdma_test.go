@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/rng"
+)
+
+// TestSingleAntennaConcurrencyIsOFDMA reproduces §4.2's observation about
+// the 1×1 scenario: when COPA selects concurrent transmission without
+// nulling (impossible with one antenna), what it has actually built is a
+// form of OFDMA — the Equi-SINR allocation steers the two APs away from
+// each other in frequency, so many subcarriers end up used by only one
+// AP.
+func TestSingleAntennaConcurrencyIsOFDMA(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		src := rng.New(500 + seed)
+		dep := channel.NewDeployment(src.Split(1), channel.Scenario1x1)
+		ev := NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
+		outs, err := ev.EvaluateAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		choice := Select(ModeMax, outs)
+		if choice.Kind != KindConcBF {
+			continue
+		}
+		tx0, tx1, err := ev.TransmissionsFor(choice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = true
+
+		both, only0, only1, neither := 0, 0, 0, 0
+		for k := range tx0.PowerMW {
+			a := tx0.PowerMW[k][0] > 0
+			b := tx1.PowerMW[k][0] > 0
+			switch {
+			case a && b:
+				both++
+			case a:
+				only0++
+			case b:
+				only1++
+			default:
+				neither++
+			}
+		}
+		t.Logf("seed %d: both=%d only-AP1=%d only-AP2=%d neither=%d",
+			seed, both, only0, only1, neither)
+		// The OFDMA signature: a meaningful set of subcarriers is
+		// exclusive to one AP.
+		if only0+only1 == 0 {
+			t.Errorf("concurrent 1x1 chose full overlap everywhere; expected frequency separation")
+		}
+	}
+	if !found {
+		t.Skip("no 1x1 topology selected concurrency in 40 seeds")
+	}
+}
+
+// TestConcurrentNullingDropsAreComplementary checks the §3.2 incentive for
+// dropping: a subcarrier one AP abandons becomes (nearly)
+// interference-free for the other, so drops should not be wasted — the
+// peer should usually keep using them.
+func TestConcurrentNullingDropsAreComplementary(t *testing.T) {
+	checked := 0
+	reused, droppedTotal := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		src := rng.New(700 + seed)
+		dep := channel.NewDeployment(src.Split(1), channel.Scenario4x2)
+		ev := NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
+		if _, err := ev.EvaluateNulling(KindConcNull); err != nil {
+			continue
+		}
+		tx0, tx1, err := ev.TransmissionsFor(Outcome{Kind: KindConcNull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		for k := range tx0.PowerMW {
+			for s := range tx0.PowerMW[k] {
+				if tx0.PowerMW[k][s] == 0 {
+					droppedTotal++
+					for s2 := range tx1.PowerMW[k] {
+						if tx1.PowerMW[k][s2] > 0 {
+							reused++
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no nulling-feasible topologies")
+	}
+	if droppedTotal > 0 && float64(reused)/float64(droppedTotal) < 0.5 {
+		t.Errorf("only %d/%d dropped cells reused by the peer", reused, droppedTotal)
+	}
+	t.Logf("dropped cells: %d, reused by peer: %d", droppedTotal, reused)
+}

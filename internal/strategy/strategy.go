@@ -1,0 +1,140 @@
+// Package strategy implements COPA's "choose best strategy" stage (Fig. 8
+// and §3.3–§3.5): it evaluates every medium-access strategy available to a
+// pair of interfering AP/client pairs — sequential CSMA, COPA-SEQ,
+// vanilla nulling, concurrent beamforming with power allocation, and
+// concurrent nulling with power allocation (with shut-down-antenna rank
+// reduction when the topology is overconstrained) — and selects the
+// winner under either the throughput-maximizing or the
+// incentive-compatible ("fair") policy.
+package strategy
+
+import (
+	"fmt"
+
+	"copa/internal/mac"
+)
+
+// Kind identifies a medium-access strategy.
+type Kind int
+
+// The strategies of Fig. 8 (plus the overconstrained SDA variants).
+const (
+	// KindCSMA is stock 802.11n: SVD beamforming, equal power on every
+	// subcarrier, senders take turns.
+	KindCSMA Kind = iota
+	// KindCOPASeq is sequential transmission with Equi-SINR power
+	// allocation and subcarrier selection.
+	KindCOPASeq
+	// KindNull is vanilla nulling: concurrent transmission with nulling
+	// precoders but equal power and no subcarrier selection.
+	KindNull
+	// KindConcBF is concurrent transmission with beamforming precoders
+	// and Equi-SINR allocation — no nulling (the only concurrent option
+	// for single-antenna APs).
+	KindConcBF
+	// KindConcNull is full COPA concurrency: nulling precoders plus
+	// Equi-SINR allocation and subcarrier selection.
+	KindConcNull
+)
+
+// String names the strategy as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case KindCSMA:
+		return "CSMA"
+	case KindCOPASeq:
+		return "COPA-SEQ"
+	case KindNull:
+		return "Null"
+	case KindConcBF:
+		return "Conc-BF"
+	case KindConcNull:
+		return "Conc-Null"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mode selects the policy for picking among strategies (§3.5).
+type Mode int
+
+// Selection policies.
+const (
+	// ModeMax maximizes aggregate throughput, even if one client ends up
+	// worse off than it would be sequentially.
+	ModeMax Mode = iota
+	// ModeFair is incentive-compatible: a concurrent strategy is chosen
+	// only if neither client's throughput falls below what sequential
+	// transmission with power allocation would give it.
+	ModeFair
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeFair {
+		return "fair"
+	}
+	return "max"
+}
+
+// Outcome is one strategy's evaluation on one topology.
+type Outcome struct {
+	Kind Kind
+	// Concurrent reports whether both APs transmit at once.
+	Concurrent bool
+	// SDA reports whether a receive antenna was shut down (§3.4).
+	SDA bool
+	// PerClient[j] is client j's effective throughput in bits/s,
+	// including airtime share and MAC overhead.
+	PerClient [2]float64
+	// Predicted mirrors PerClient but computed on the CSI estimates the
+	// leader decides from; selection uses Predicted, figures report
+	// PerClient (measured on the true channels).
+	Predicted [2]float64
+}
+
+// Aggregate is the sum of both clients' effective throughputs.
+func (o Outcome) Aggregate() float64 { return o.PerClient[0] + o.PerClient[1] }
+
+// PredictedAggregate sums the predicted per-client throughputs.
+func (o Outcome) PredictedAggregate() float64 { return o.Predicted[0] + o.Predicted[1] }
+
+// effective converts PHY goodput into effective throughput: airtime share
+// (0.5 for alternating sequential senders, 1.0 for concurrent) minus the
+// scheme's MAC overhead and the common data-path overhead.
+func effective(goodputBps, share, schemeOverhead float64) float64 {
+	eff := goodputBps * share * (1 - schemeOverhead - mac.DataOverheadFraction)
+	if eff < 0 {
+		return 0
+	}
+	return eff
+}
+
+// Select applies the COPA decision rule (§3.3, §3.5) to a set of
+// evaluated strategies: among COPA's candidate strategies (COPA-SEQ and
+// the concurrent options — vanilla CSMA and vanilla nulling are baselines,
+// not candidates), pick the aggregate-throughput maximizer. In ModeFair a
+// concurrent candidate is admissible only if, on predicted throughputs,
+// neither client does worse than under COPA-SEQ. Selection is on
+// Predicted values (the leader only knows estimates).
+func Select(mode Mode, outcomes map[Kind]Outcome) Outcome {
+	seq, ok := outcomes[KindCOPASeq]
+	if !ok {
+		panic("strategy: COPA-SEQ outcome is required for selection")
+	}
+	best := seq
+	for _, k := range []Kind{KindConcBF, KindConcNull} {
+		o, ok := outcomes[k]
+		if !ok {
+			continue
+		}
+		if mode == ModeFair {
+			if o.Predicted[0] < seq.Predicted[0] || o.Predicted[1] < seq.Predicted[1] {
+				continue
+			}
+		}
+		if o.PredictedAggregate() > best.PredictedAggregate() {
+			best = o
+		}
+	}
+	return best
+}

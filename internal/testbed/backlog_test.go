@@ -1,0 +1,71 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+func TestBacklogStableUnderLightLoad(t *testing.T) {
+	o := strategy.Outcome{Concurrent: true, PerClient: [2]float64{50e6, 50e6}}
+	res := RunBacklog(rng.New(1), o, BacklogConfig{ArrivalBitsPerSec: 10e6, TXOPs: 2000})
+	for j := 0; j < 2; j++ {
+		if math.IsInf(res.MeanDelaySec[j], 1) {
+			t.Fatalf("client %d unstable at 20%% load", j)
+		}
+		// Light load: delay well under one TXOP-pair worth of queueing.
+		if res.MeanDelaySec[j] > 0.05 {
+			t.Errorf("client %d delay %.3fs too high at light load", j, res.MeanDelaySec[j])
+		}
+		if res.Served[j] == 0 {
+			t.Error("no frames served")
+		}
+	}
+}
+
+func TestBacklogUnstableWhenOverloaded(t *testing.T) {
+	o := strategy.Outcome{Concurrent: true, PerClient: [2]float64{20e6, 20e6}}
+	res := RunBacklog(rng.New(2), o, BacklogConfig{ArrivalBitsPerSec: 40e6, TXOPs: 2000})
+	for j := 0; j < 2; j++ {
+		if !math.IsInf(res.MeanDelaySec[j], 1) && res.FinalBacklogBits[j] < 1e6 {
+			t.Errorf("client %d should be drowning at 2x load", j)
+		}
+	}
+}
+
+func TestBacklogSequentialAlternation(t *testing.T) {
+	// Sequential service with the same per-client effective rate should
+	// still be stable below capacity, with higher delay than concurrent.
+	conc := strategy.Outcome{Concurrent: true, PerClient: [2]float64{40e6, 40e6}}
+	seq := strategy.Outcome{Concurrent: false, PerClient: [2]float64{40e6, 40e6}}
+	load := BacklogConfig{ArrivalBitsPerSec: 25e6, TXOPs: 4000}
+	rc := RunBacklog(rng.New(3), conc, load)
+	rs := RunBacklog(rng.New(3), seq, load)
+	for j := 0; j < 2; j++ {
+		if math.IsInf(rs.MeanDelaySec[j], 1) {
+			t.Fatalf("sequential unstable below capacity (client %d)", j)
+		}
+		if rs.MeanDelaySec[j] < rc.MeanDelaySec[j] {
+			t.Errorf("client %d: alternation should add delay (seq %.4fs < conc %.4fs)",
+				j, rs.MeanDelaySec[j], rc.MeanDelaySec[j])
+		}
+	}
+}
+
+func TestBacklogComparisonEndToEnd(t *testing.T) {
+	cmp, err := RunBacklogComparison(4, 30e6, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		// At a load CSMA can barely or not carry (30 Mb/s per client =
+		// 60 Mb/s aggregate offered vs ~114 shared), COPA must not be
+		// *worse*.
+		if cmp.COPADelaySec[j] > cmp.CSMADelaySec[j]*1.5+0.01 {
+			t.Errorf("client %d: COPA delay %.3fs vs CSMA %.3fs", j,
+				cmp.COPADelaySec[j], cmp.CSMADelaySec[j])
+		}
+	}
+}

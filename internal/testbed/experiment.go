@@ -1,0 +1,228 @@
+package testbed
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"copa/internal/channel"
+	"copa/internal/power"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+// Scheme names match the paper's figure legends.
+const (
+	SchemeCSMA     = "CSMA"
+	SchemeCOPASeq  = "COPA-SEQ"
+	SchemeNull     = "Null" // "Null+SDA" in the overconstrained scenario
+	SchemeCOPAFair = "COPA fair"
+	SchemeCOPA     = "COPA"
+	SchemeCOPAPF   = "COPA+ fair"
+	SchemeCOPAP    = "COPA+"
+)
+
+// AllSchemes lists scheme names in the paper's presentation order.
+var AllSchemes = []string{
+	SchemeCSMA, SchemeCOPASeq, SchemeNull,
+	SchemeCOPAFair, SchemeCOPA, SchemeCOPAPF, SchemeCOPAP,
+}
+
+// ScenarioResult holds per-topology aggregate throughputs for every
+// scheme in one antenna scenario — the data behind one of Figs. 10–13.
+type ScenarioResult struct {
+	Scenario   channel.Scenario
+	Topologies int
+	// PerTopology[scheme][t] is the aggregate (both clients) effective
+	// throughput in bits/s on topology t. Schemes that are infeasible in
+	// the scenario (Null for 1×1) are absent.
+	PerTopology map[string][]float64
+}
+
+// MeanMbps returns a scheme's mean aggregate throughput in Mb/s.
+func (r *ScenarioResult) MeanMbps(scheme string) float64 {
+	return Mean(r.PerTopology[scheme]) / 1e6
+}
+
+// Config parameterizes a scenario run.
+type Config struct {
+	Seed        int64
+	Topologies  int
+	Impairments channel.Impairments
+	// InterferenceDeltaDB scales all cross-channels (−10 reproduces the
+	// Fig. 12 weak-interference emulation).
+	InterferenceDeltaDB float64
+	// SkipCOPAPlus disables the (expensive) mercury/water-filling
+	// variants.
+	SkipCOPAPlus bool
+	// MultiDecoder evaluates with per-subcarrier rate selection (Fig. 14).
+	MultiDecoder bool
+	// MaxParallel bounds worker goroutines (default: GOMAXPROCS).
+	MaxParallel int
+}
+
+// DefaultConfig mirrors the paper: 30 topologies, WARP-class impairments.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Topologies: 30, Impairments: channel.DefaultImpairments()}
+}
+
+// topologyOutcomes evaluates every scheme on one deployment.
+func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map[string]float64, error) {
+	out := make(map[string]float64)
+
+	ev := strategy.NewEvaluator(dep, cfg.Impairments, src.Split(1))
+	ev.MultiDecoder = cfg.MultiDecoder
+	outs, err := ev.EvaluateAll()
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", dep, err)
+	}
+	out[SchemeCSMA] = outs[strategy.KindCSMA].Aggregate()
+	out[SchemeCOPASeq] = outs[strategy.KindCOPASeq].Aggregate()
+	if o, ok := outs[strategy.KindNull]; ok {
+		out[SchemeNull] = o.Aggregate()
+	}
+	out[SchemeCOPA] = strategy.Select(strategy.ModeMax, outs).Aggregate()
+	out[SchemeCOPAFair] = strategy.Select(strategy.ModeFair, outs).Aggregate()
+
+	if !cfg.SkipCOPAPlus {
+		// COPA+: same pipeline with iterated mercury/water-filling as the
+		// inner allocator (trace-driven in the paper for the same reason
+		// it is slower here: §4.2).
+		evp := strategy.NewEvaluator(dep, cfg.Impairments, src.Split(1))
+		evp.MultiDecoder = cfg.MultiDecoder
+		evp.Alloc.Inner = power.MercuryBest
+		evp.Alloc.MaxIters = 3
+		plusOuts, err := evp.EvaluateAll()
+		if err != nil {
+			return nil, fmt.Errorf("evaluate COPA+ %s: %w", dep, err)
+		}
+		// COPA+ *adds* the mercury/water-filling allocations to the
+		// strategy set COPA selects from (§4.2), so for each mode the
+		// choice is whichever of the two pipelines predicts higher.
+		pick := func(mode strategy.Mode) float64 {
+			base := strategy.Select(mode, outs)
+			plus := strategy.Select(mode, plusOuts)
+			if plus.PredictedAggregate() > base.PredictedAggregate() {
+				return plus.Aggregate()
+			}
+			return base.Aggregate()
+		}
+		out[SchemeCOPAP] = pick(strategy.ModeMax)
+		out[SchemeCOPAPF] = pick(strategy.ModeFair)
+	}
+	return out, nil
+}
+
+// RunScenario evaluates all schemes over a population of topologies,
+// in parallel across topologies, deterministically per (seed, scenario).
+func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
+	deps := channel.GenerateTestbed(cfg.Seed, sc, cfg.Topologies)
+	if cfg.InterferenceDeltaDB != 0 {
+		for i, d := range deps {
+			deps[i] = d.ScaleInterference(cfg.InterferenceDeltaDB)
+		}
+	}
+	res := &ScenarioResult{
+		Scenario:    sc,
+		Topologies:  cfg.Topologies,
+		PerTopology: make(map[string][]float64),
+	}
+	type one struct {
+		idx int
+		out map[string]float64
+		err error
+	}
+	workers := cfg.MaxParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]one, len(deps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	master := rng.New(cfg.Seed ^ 0x5eed)
+	srcs := make([]*rng.Source, len(deps))
+	for i := range srcs {
+		srcs[i] = master.Split(uint64(i))
+	}
+	for i, dep := range deps {
+		wg.Add(1)
+		go func(i int, dep *channel.Deployment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := topologyOutcomes(dep, cfg, srcs[i])
+			results[i] = one{idx: i, out: out, err: err}
+		}(i, dep)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for scheme, v := range r.out {
+			res.PerTopology[scheme] = append(res.PerTopology[scheme], v)
+		}
+	}
+	return res, nil
+}
+
+// HeadlineStats computes the paper's §1 claims from a 4×2 scenario run:
+// how often vanilla nulling loses to CSMA, COPA's improvement over nulling
+// on those topologies, and how often COPA then beats CSMA.
+type HeadlineStats struct {
+	// NullLosesToCSMA is the fraction of topologies where vanilla
+	// nulling underperforms CSMA (paper: 83%).
+	NullLosesToCSMA float64
+	// COPAOverNullWhereNullLoses is COPA's mean relative improvement
+	// over nulling on those topologies (paper: +64%).
+	COPAOverNullWhereNullLoses float64
+	// COPABeatsCSMAWhereNullLoses is the fraction of those topologies
+	// where COPA exceeds CSMA (paper: 76%).
+	COPABeatsCSMAWhereNullLoses float64
+	// NullWinMedian is nulling's median improvement over CSMA where it
+	// wins (paper: 12%).
+	NullWinMedian float64
+	// COPAWinMedianWhereNullWins is COPA's median improvement over CSMA
+	// on those same topologies (paper: 45%).
+	COPAWinMedianWhereNullWins float64
+	// PriceOfFairness is 1 − mean(COPA fair)/mean(COPA).
+	PriceOfFairness float64
+}
+
+// Headlines derives the §1 statistics from a scenario result containing
+// Null, CSMA and COPA columns.
+func Headlines(r *ScenarioResult) HeadlineStats {
+	var hs HeadlineStats
+	null, csma, copa := r.PerTopology[SchemeNull], r.PerTopology[SchemeCSMA], r.PerTopology[SchemeCOPA]
+	if len(null) == 0 {
+		return hs
+	}
+	var loseGain, winNull, winCOPA []float64
+	lose, loseAndBeat := 0, 0
+	for t := range null {
+		if null[t] < csma[t] {
+			lose++
+			if null[t] > 0 {
+				loseGain = append(loseGain, copa[t]/null[t]-1)
+			}
+			if copa[t] > csma[t] {
+				loseAndBeat++
+			}
+		} else if csma[t] > 0 {
+			winNull = append(winNull, null[t]/csma[t]-1)
+			winCOPA = append(winCOPA, copa[t]/csma[t]-1)
+		}
+	}
+	n := float64(len(null))
+	hs.NullLosesToCSMA = float64(lose) / n
+	hs.COPAOverNullWhereNullLoses = Mean(loseGain)
+	if lose > 0 {
+		hs.COPABeatsCSMAWhereNullLoses = float64(loseAndBeat) / float64(lose)
+	}
+	hs.NullWinMedian = Median(winNull)
+	hs.COPAWinMedianWhereNullWins = Median(winCOPA)
+	if m := Mean(copa); m > 0 {
+		hs.PriceOfFairness = 1 - Mean(r.PerTopology[SchemeCOPAFair])/m
+	}
+	return hs
+}

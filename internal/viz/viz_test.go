@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNiceTicksProperties(t *testing.T) {
+	cases := [][2]float64{{0, 100}, {-5, 5}, {0.001, 0.009}, {3, 3}, {47.7, 136.2}}
+	for _, c := range cases {
+		ticks := niceTicks(c[0], c[1], 6)
+		if len(ticks) < 2 {
+			t.Fatalf("range %v: only %d ticks", c, len(ticks))
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Fatalf("range %v: ticks not increasing: %v", c, ticks)
+			}
+		}
+		hi := c[1]
+		if c[0] >= c[1] {
+			hi = c[0] + 1
+		}
+		for _, v := range ticks {
+			if v < c[0]-1e-9 || v > hi+1e-9 {
+				t.Fatalf("range %v: tick %g outside", c, v)
+			}
+		}
+	}
+}
+
+func TestQuickNiceTicksUniformSpacing(t *testing.T) {
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw)/100 - 300
+		span := float64(spanRaw%50000)/100 + 0.1
+		ticks := niceTicks(lo, lo+span, 6)
+		if len(ticks) < 2 {
+			return true
+		}
+		d := ticks[1] - ticks[0]
+		for i := 2; i < len(ticks); i++ {
+			if math.Abs((ticks[i]-ticks[i-1])-d) > 1e-9*math.Max(1, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChartSVGStructure(t *testing.T) {
+	c := Chart{
+		Title:  "Throughput CDF",
+		XLabel: "Mb/s",
+		YLabel: "CDF",
+		Series: []Series{
+			{Name: "CSMA", X: []float64{10, 20, 30}, Y: []float64{0.3, 0.6, 1.0}, Step: true},
+			{Name: "COPA", X: []float64{15, 25, 40}, Y: []float64{0.3, 0.6, 1.0}},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "</svg>", "Throughput CDF", "CSMA", "COPA", "polyline", "Mb/s"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("SVG contains non-finite coordinates")
+	}
+}
+
+func TestChartScatterAndLog(t *testing.T) {
+	c := Chart{
+		Title: "BER",
+		LogY:  true,
+		Series: []Series{
+			{Name: "points", X: []float64{1, 2, 3}, Y: []float64{1e-6, 1e-3, 0.1}, Dots: true},
+		},
+	}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<circle") {
+		t.Error("scatter should render circles")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("log chart produced NaN")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := Chart{Title: "empty"}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart should still render a frame")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := Chart{Title: "a<b & c>d", Series: []Series{{Name: "x<y", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "x<y") {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Error("escaping broken")
+	}
+}
