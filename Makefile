@@ -1,0 +1,33 @@
+# Development targets for the COPA reproduction. Tier-1 CI is
+# `make build test`; `make race vet` is the extended gate this repo's
+# observability layer is verified under.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-obs clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race includes the obs registry stress test (internal/obs/stress_test.go).
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates every paper figure/table and times the pipeline.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-obs compares the instrumented hot path against obs.Disabled().
+bench-obs:
+	$(GO) test -run XXX -bench 'EquiSNR|EvaluateAll' -benchmem -count=3 .
+
+clean:
+	$(GO) clean ./...

@@ -17,16 +17,23 @@ import (
 	"time"
 
 	"copa/internal/channel"
+	"copa/internal/obs"
 	"copa/internal/testbed"
 	"copa/internal/viz"
 )
 
-func main() {
-	out := flag.String("o", "report.html", "output HTML file")
-	seed := flag.Int64("seed", 1, "master seed")
-	topologies := flag.Int("topologies", 30, "topologies per scenario")
-	skipPlus := flag.Bool("skip-copa-plus", false, "skip the slow COPA+ variants")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("copareport", flag.ExitOnError)
+	out := fs.String("o", "report.html", "output HTML file")
+	seed := fs.Int64("seed", 1, "master seed")
+	topologies := fs.Int("topologies", 30, "topologies per scenario")
+	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow COPA+ variants")
+	verbose := fs.Bool("v", false, "debug logging (per-section progress)")
+	_ = fs.Parse(args)
+	obs.SetVerbose(*verbose)
+	logger := obs.Logger()
 
 	var b strings.Builder
 	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">
@@ -40,11 +47,16 @@ th:first-child,td:first-child{text-align:left}.paper{color:#888}</style></head><
 simulated testbed (seed `)
 	fmt.Fprintf(&b, "%d, %d topologies). Grey values are the paper's.</p>", *seed, *topologies)
 
+	failed := false
 	section := func(title string, f func() error) {
+		if failed {
+			return
+		}
 		fmt.Fprintf(&b, "<h2>%s</h2>", title)
+		logger.Debug("rendering section", "section", title, "seed", *seed, "topologies", *topologies)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", title, err)
-			os.Exit(1)
+			logger.Error("section failed", "section", title, "err", err)
+			failed = true
 		}
 	}
 
@@ -238,9 +250,13 @@ simulated testbed (seed `)
 
 	fmt.Fprintf(&b, "<p><em>Generated %s.</em></p></body></html>", time.Now().UTC().Format(time.RFC3339))
 
+	if failed {
+		return 1
+	}
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		logger.Error("write report failed", "path", *out, "err", err)
+		return 1
 	}
 	fmt.Printf("wrote %s (%d KiB)\n", *out, len(b.String())/1024)
+	return 0
 }

@@ -6,60 +6,146 @@
 //	copasim -fig 11                # one figure
 //	copasim -fig all -topologies 30
 //	copasim -fig headlines         # the §1 claims
+//
+// Operational flags: -debug-addr serves expvar (/debug/vars), a registry
+// snapshot (/debug/metrics), recent spans (/debug/spans) and pprof;
+// -cpuprofile/-memprofile/-trace-out write profiles; -v enables debug
+// logging.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"copa/internal/channel"
+	"copa/internal/obs"
 	"copa/internal/strategy"
 	"copa/internal/testbed"
 )
 
-func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
-	seed := flag.Int64("seed", 1, "master seed (same seed → same testbed)")
-	topologies := flag.Int("topologies", 30, "number of topologies per scenario")
-	skipPlus := flag.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
-	outDir := flag.String("out", "", "directory to also write CSV data files into")
-	flag.Parse()
-	csvDir = *outDir
+func main() { os.Exit(run(os.Args[1:])) }
 
-	run := func(name string, f func() error) {
+func run(args []string) int {
+	fs := flag.NewFlagSet("copasim", flag.ExitOnError)
+	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
+	seed := fs.Int64("seed", 1, "master seed (same seed → same testbed)")
+	topologies := fs.Int("topologies", 30, "number of topologies per scenario")
+	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
+	outDir := fs.String("out", "", "directory to also write CSV data files into")
+	verbose := fs.Bool("v", false, "debug logging (per-topology progress)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := fs.String("trace-out", "", "write a runtime execution trace to this file")
+	_ = fs.Parse(args)
+	csvDir = *outDir
+	obs.SetVerbose(*verbose)
+	logger := obs.Logger()
+
+	if *debugAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			logger.Error("debug server failed", "addr", *debugAddr, "err", err)
+			return 1
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			logger.Error("cpuprofile failed", "err", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Error("cpuprofile failed", "err", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Error("trace-out failed", "err", err)
+			return 1
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			logger.Error("trace-out failed", "err", err)
+			return 1
+		}
+		defer trace.Stop()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			logger.Error("memprofile failed", "err", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			logger.Error("memprofile failed", "err", err)
+		}
+	}()
+
+	failed := false
+	matched := false
+	runOne := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		matched = true
+		if failed {
+			return
+		}
 		fmt.Printf("\n===== %s =====\n", title(name))
+		logger.Debug("reproducing", "figure", name, "seed", *seed, "topologies", *topologies)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			logger.Error("figure failed", "figure", name, "err", err)
+			failed = true
 		}
 	}
 
-	run("2", func() error { printFigure2(*seed); return nil })
-	run("3", func() error { printFigure3(*seed, *topologies); return nil })
-	run("4", func() error { printFigure4(*seed); return nil })
-	run("table1", func() error { printTable1(); return nil })
-	run("7", func() error { printFigure7(*seed); return nil })
-	run("9", func() error { printFigure9(*seed, *topologies); return nil })
-	run("10", func() error {
+	runOne("2", func() error { printFigure2(*seed); return nil })
+	runOne("3", func() error { printFigure3(*seed, *topologies); return nil })
+	runOne("4", func() error { printFigure4(*seed); return nil })
+	runOne("table1", func() error { printTable1(); return nil })
+	runOne("7", func() error { printFigure7(*seed); return nil })
+	runOne("9", func() error { printFigure9(*seed, *topologies); return nil })
+	runOne("10", func() error {
 		return printScenario("Figure 10 (1x1)", channel.Scenario1x1, *seed, *topologies, 0, *skipPlus)
 	})
-	run("11", func() error {
+	runOne("11", func() error {
 		return printScenario("Figure 11 (4x2)", channel.Scenario4x2, *seed, *topologies, 0, *skipPlus)
 	})
-	run("12", func() error {
+	runOne("12", func() error {
 		return printScenario("Figure 12 (4x2, interference −10 dB)", channel.Scenario4x2, *seed, *topologies, -10, *skipPlus)
 	})
-	run("13", func() error {
+	runOne("13", func() error {
 		return printScenario("Figure 13 (3x2)", channel.Scenario3x2, *seed, *topologies, 0, *skipPlus)
 	})
-	run("14", func() error { return printFigure14(*seed, *topologies) })
-	run("headlines", func() error { return printHeadlines(*seed, *topologies) })
-	run("accuracy", func() error { return printAccuracy(*seed, *topologies) })
-	run("backlog", func() error { return printBacklog(*seed) })
+	runOne("14", func() error { return printFigure14(*seed, *topologies) })
+	runOne("headlines", func() error { return printHeadlines(*seed, *topologies) })
+	runOne("accuracy", func() error { return printAccuracy(*seed, *topologies) })
+	runOne("backlog", func() error { return printBacklog(*seed) })
+	if !matched {
+		logger.Error("unknown figure", "fig", *fig)
+		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
+		return 2
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // csvDir, when non-empty, receives CSV exports of every figure printed.

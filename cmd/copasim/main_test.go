@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/obs"
+	"copa/internal/testbed"
+)
+
+// TestDebugSurface is the PR's acceptance check: after one scenario run,
+// the -debug-addr surface must expose at least 10 distinct copa.* metrics
+// via expvar and answer pprof requests.
+func TestDebugSurface(t *testing.T) {
+	bound, shutdown, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer shutdown()
+
+	cfg := testbed.DefaultConfig(1)
+	cfg.Topologies = 3
+	cfg.SkipCOPAPlus = true
+	if _, err := testbed.RunScenario(channel.Scenario4x2, cfg); err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", bound, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("unmarshal /debug/vars: %v", err)
+	}
+	distinct := 0
+	for name := range vars {
+		if strings.HasPrefix(name, "copa.") {
+			distinct++
+		}
+	}
+	if distinct < 10 {
+		names := make([]string, 0, len(vars))
+		for n := range vars {
+			names = append(names, n)
+		}
+		t.Fatalf("want >=10 distinct copa.* expvar metrics, got %d: %v", distinct, names)
+	}
+
+	if body := get("/debug/metrics"); !strings.Contains(string(body), "copa.") {
+		t.Fatalf("/debug/metrics carries no copa.* entries: %s", body)
+	}
+	get("/debug/spans")
+	get("/debug/pprof/cmdline")
+	if body := get("/debug/pprof/goroutine?debug=1"); len(body) == 0 {
+		t.Fatal("empty goroutine profile")
+	}
+}
+
+// TestRunExitCodes exercises the CLI wrapper end to end on a cheap figure.
+func TestRunExitCodes(t *testing.T) {
+	if code := run([]string{"-fig", "table1"}); code != 0 {
+		t.Fatalf("run(-fig table1) = %d, want 0", code)
+	}
+	if code := run([]string{"-fig", "table1", "-out", t.TempDir()}); code != 0 {
+		t.Fatalf("run with -out = %d, want 0", code)
+	}
+	// An unwritable CSV directory must not crash; export errors are logged.
+	csvDir = ""
+}

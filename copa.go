@@ -23,12 +23,14 @@
 package copa
 
 import (
+	"log/slog"
 	"time"
 
 	"copa/internal/channel"
 	"copa/internal/core"
 	"copa/internal/csi"
 	"copa/internal/mac"
+	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/precoding"
 	"copa/internal/rng"
@@ -248,6 +250,50 @@ var CoherenceTime = channel.CoherenceTime
 // NullingDOF returns how many streams a sender can transmit while nulling
 // at a victim's antennas (§3.4).
 var NullingDOF = precoding.NullingDOF
+
+// Observability: every layer of the pipeline records counters, latency
+// histograms, and spans into a process-wide registry (see internal/obs).
+// Instrumentation is on by default and costs one atomic op per event;
+// SetMetricsEnabled(false) turns it into a predictable no-op branch.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered metric.
+	// It is internally consistent per histogram: Count always equals the
+	// sum of the bucket counts.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramValue is one histogram's snapshot, with Mean and Quantile
+	// helpers.
+	HistogramValue = obs.HistogramValue
+	// SpanRecord is one finished trace span from the in-process ring.
+	SpanRecord = obs.SpanRecord
+)
+
+// Metrics captures the current value of every copa.* metric.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// Snapshot is an alias for Metrics.
+func Snapshot() MetricsSnapshot { return Metrics() }
+
+// SetMetricsEnabled toggles all instrumentation (metrics, timers, spans).
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// MetricsEnabled reports whether instrumentation is active.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// RecentSpans returns up to n most recent trace spans, newest first
+// (n <= 0 returns all retained spans).
+func RecentSpans(n int) []SpanRecord { return obs.Tracing().Recent(n) }
+
+// ServeDebug starts an HTTP listener exposing /debug/vars (expvar with
+// live copa.* metrics), /debug/metrics, /debug/spans, and /debug/pprof.
+// It returns the bound address and a shutdown function.
+func ServeDebug(addr string) (string, func(), error) { return obs.ServeDebug(addr) }
+
+// Logger returns the process-wide structured logger the simulator logs
+// progress through.
+func Logger() *slog.Logger { return obs.Logger() }
+
+// SetVerbose switches the logger between Info (false) and Debug (true).
+func SetVerbose(on bool) { obs.SetVerbose(on) }
 
 // Experiment entry points (one per paper artifact).
 var (

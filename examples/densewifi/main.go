@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"strings"
 
 	"copa"
@@ -20,7 +20,8 @@ func main() {
 
 	res, err := copa.RunScenario(copa.Scenario4x2, cfg)
 	if err != nil {
-		log.Fatal(err)
+		copa.Logger().Error("scenario failed", "scenario", "4x2", "seed", cfg.Seed, "err", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("dense Wi-Fi, %d topologies, 4-antenna APs, 2-antenna clients\n\n", cfg.Topologies)

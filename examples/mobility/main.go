@@ -8,7 +8,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"copa"
@@ -62,7 +62,9 @@ func runOne(seed int64, coherence, refresh time.Duration) copa.ScheduleResult {
 		RefreshInterval: refresh,
 	})
 	if err != nil {
-		log.Fatal(err)
+		copa.Logger().Error("schedule failed", "scenario", "4x2", "seed", seed,
+			"coherence", coherence, "refresh", refresh, "err", err)
+		os.Exit(1)
 	}
 	return res
 }

@@ -9,10 +9,16 @@ package main
 import (
 	"errors"
 	"fmt"
-	"log"
+	"os"
 
 	"copa"
 )
+
+// fail logs an error with the example's common keys and exits non-zero.
+func fail(msg string, err error) {
+	copa.Logger().Error(msg, "scenario", "3x2", "seed", 5, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	src := copa.NewRand(5)
@@ -32,14 +38,14 @@ func main() {
 		fmt.Println("full-rank nulling: OVERCONSTRAINED (as §3.4 predicts)")
 		fmt.Printf("  %v\n\n", err)
 	case err == nil:
-		log.Fatal("unexpectedly feasible — the cross channel must be rank-deficient")
+		fail("unexpectedly feasible — the cross channel must be rank-deficient", nil)
 	default:
-		log.Fatal(err)
+		fail("nulling failed", err)
 	}
 
 	// One stream fits inside the 1-dim nullspace…
 	if _, err := copa.Nulling(est22, est21, 1); err != nil {
-		log.Fatal(err)
+		fail("single-stream nulling failed", err)
 	}
 	fmt.Println("1 stream + full nulling: feasible (but halves AP2's rate)")
 
@@ -47,7 +53,7 @@ func main() {
 	// follower sends 1 stream: shut the victim's weaker antenna.
 	reduced := est21.WithoutRxAntenna(1)
 	if _, err := copa.Nulling(est22, reduced, 2); err != nil {
-		log.Fatal(err)
+		fail("nulling after SDA failed", err)
 	}
 	fmt.Println("2 streams, nulling at the client's remaining antenna after SDA: feasible")
 	fmt.Printf("  nullspace grew from %d to %d dimensions\n\n",
@@ -57,7 +63,7 @@ func main() {
 	ev := copa.NewEvaluator(dep, imp, 11)
 	outs, err := ev.EvaluateAll()
 	if err != nil {
-		log.Fatal(err)
+		fail("strategy evaluation failed", err)
 	}
 	fmt.Println("strategy evaluation (aggregate, measured on true channels):")
 	for _, k := range []copa.StrategyKind{copa.KindCSMA, copa.KindCOPASeq, copa.KindNull, copa.KindConcBF, copa.KindConcNull} {

@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"copa"
@@ -31,7 +31,8 @@ func main() {
 	// transmission.
 	session, err := pair.RunExchange(4000 /* µs of data airtime */)
 	if err != nil {
-		log.Fatalf("ITS exchange failed: %v", err)
+		copa.Logger().Error("ITS exchange failed", "scenario", "4x2", "seed", 42, "err", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("leader: AP%d\n", session.LeaderIdx)
@@ -48,7 +49,8 @@ func main() {
 	ev := copa.NewEvaluator(dep, copa.DefaultImpairments(), 7)
 	csma, err := ev.EvaluateCSMA()
 	if err != nil {
-		log.Fatal(err)
+		copa.Logger().Error("CSMA evaluation failed", "scenario", "4x2", "scheme", "CSMA", "seed", 42, "err", err)
+		os.Exit(1)
 	}
 	fmt.Printf("CSMA baseline:             client1 %.1f Mb/s, client2 %.1f Mb/s (aggregate %.1f)\n",
 		csma.PerClient[0]/1e6, csma.PerClient[1]/1e6, csma.Aggregate()/1e6)

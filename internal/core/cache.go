@@ -44,11 +44,14 @@ func (c *CSICache) Put(addr mac.Addr, link *channel.Link, now time.Duration) {
 func (c *CSICache) Get(addr mac.Addr, now time.Duration) (*channel.Link, bool) {
 	e, ok := c.entries[addr]
 	if !ok {
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	if now-e.at > c.coherence {
+		mCacheMisses.Inc()
 		return nil, false
 	}
+	mCacheHits.Inc()
 	return e.link, true
 }
 
@@ -71,6 +74,7 @@ func (c *CSICache) Evict(now time.Duration) int {
 			n++
 		}
 	}
+	mCacheEvictions.Add(uint64(n))
 	return n
 }
 

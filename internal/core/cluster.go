@@ -6,6 +6,7 @@ import (
 
 	"copa/internal/channel"
 	"copa/internal/mac"
+	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/rng"
 	"copa/internal/strategy"
@@ -93,6 +94,7 @@ func (c *Cluster) bestFollower(leader int) int {
 // RunRound performs one full contention round: election, pairwise ITS
 // exchange, transmission, throughput measurement on the true channels.
 func (c *Cluster) RunRound() (*RoundResult, error) {
+	mClusterRounds.Inc()
 	n := c.Truth.Pairs
 	// Election among APs not sitting out.
 	candidates := make([]int, 0, n)
@@ -133,19 +135,34 @@ func (c *Cluster) RunRound() (*RoundResult, error) {
 	}
 
 	lead, fol := c.APs[leader], c.APs[follower]
+	span := obs.Trace("its.exchange")
+	timing := mExchangeSeconds.Begin()
+	mSessions.Inc()
 	initFrame := lead.BuildITSInit(uint32(mac.TxOp.Microseconds()))
 	reqFrame, err := fol.BuildITSReq(initFrame, c.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("follower REQ: %w", err)
 	}
 	dec, err := lead.HandleITSReq(reqFrame, c.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("leader decision: %w", err)
 	}
 	ack, folTx, err := fol.HandleITSAck(dec.Ack, c.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("follower ACK: %w", err)
 	}
+	mControlBytes.ObserveInt(len(initFrame) + len(reqFrame) + len(dec.Ack))
+	if ack.Decision == mac.DecideConcurrent {
+		mSessionsConcurrent.Inc()
+	}
+	timing.End()
+	span.End()
 
 	if ack.Decision == mac.DecideConcurrent {
 		res.Concurrent = true
@@ -170,6 +187,7 @@ func (c *Cluster) RunRound() (*RoundResult, error) {
 	if c.Deference {
 		c.sitOut[leader] = true
 		c.sitOut[follower] = true
+		mClusterSitOuts.Add(2)
 	}
 	return res, nil
 }

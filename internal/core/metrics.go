@@ -1,0 +1,26 @@
+package core
+
+import "copa/internal/obs"
+
+// Pre-resolved observability handles for the AP pipeline. All are
+// registered once at package init so the per-TXOP and per-exchange paths
+// never look a metric up by name.
+var (
+	// CSI cache behaviour (§3.1 coherence-time staleness).
+	mCacheHits      = obs.C("copa.core.cache_hits")
+	mCacheMisses    = obs.C("copa.core.cache_misses")
+	mCacheEvictions = obs.C("copa.core.cache_evictions")
+
+	// ITS exchange outcomes (Fig. 5 three-frame negotiation).
+	mSessions           = obs.C("copa.its.sessions")
+	mSessionFailures    = obs.C("copa.its.session_failures")
+	mSessionsConcurrent = obs.C("copa.its.sessions_concurrent")
+	mControlBytes       = obs.H("copa.its.control_bytes", obs.ExpBuckets(64, 2, 12))
+	mExchangeSeconds    = obs.T("copa.its.exchange_seconds")
+
+	// Schedule and cluster simulation loops.
+	mScheduleRuns    = obs.C("copa.core.schedule_runs")
+	mScheduleSeconds = obs.T("copa.core.schedule_seconds")
+	mClusterRounds   = obs.C("copa.core.cluster_rounds")
+	mClusterSitOuts  = obs.C("copa.core.cluster_sitouts")
+)

@@ -6,6 +6,7 @@ import (
 
 	"copa/internal/channel"
 	"copa/internal/mac"
+	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/precoding"
 	"copa/internal/rng"
@@ -93,6 +94,9 @@ func (p *Pair) MeasureCSI() {
 // their real wire formats. The returned session's Tx are in caller
 // coordinates (index 0 = p.AP[0]).
 func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
+	span := obs.Trace("its.exchange")
+	timing := mExchangeSeconds.Begin()
+	mSessions.Inc()
 	leader := p.src.Intn(2)
 	follower := 1 - leader
 	lead, fol := p.AP[leader], p.AP[follower]
@@ -100,14 +104,20 @@ func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
 	initFrame := lead.BuildITSInit(airtimeUS)
 	reqFrame, err := fol.BuildITSReq(initFrame, p.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("follower REQ: %w", err)
 	}
 	dec, err := lead.HandleITSReq(reqFrame, p.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("leader decision: %w", err)
 	}
 	ack, folTx, err := fol.HandleITSAck(dec.Ack, p.clk)
 	if err != nil {
+		mSessionFailures.Inc()
+		span.EndErr(err)
 		return nil, fmt.Errorf("follower ACK: %w", err)
 	}
 
@@ -121,6 +131,12 @@ func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
 	// For sequential verdicts folTx is the follower's solo COPA-SEQ
 	// transmission for its own (deferred) turn.
 	s.Tx[follower] = folTx
+	if s.Concurrent {
+		mSessionsConcurrent.Inc()
+	}
+	mControlBytes.ObserveInt(s.ControlBytes)
+	timing.End()
+	span.End()
 	return s, nil
 }
 

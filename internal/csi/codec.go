@@ -226,12 +226,24 @@ func encodeMatrices(ms []*linalg.Matrix, profile int) ([]byte, error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	mEncodes.Inc()
+	mPayloadBytes.ObserveInt(out.Len())
 	return out.Bytes(), nil
 }
 
 // DecodeMatrices reverses EncodeMatrices. The reconstruction is lossy (the
 // quantizer's job) but structurally exact.
 func DecodeMatrices(data []byte) ([]*linalg.Matrix, error) {
+	ms, err := decodeMatrices(data)
+	if err != nil {
+		mDecodeFailures.Inc()
+		return nil, err
+	}
+	mDecodes.Inc()
+	return ms, nil
+}
+
+func decodeMatrices(data []byte) ([]*linalg.Matrix, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
 	raw, err := io.ReadAll(r)

@@ -1,0 +1,13 @@
+package csi
+
+import "copa/internal/obs"
+
+// Handles resolved at init; the codec only touches atomics per call.
+var (
+	mEncodes        = obs.C("copa.csi.encodes")
+	mDecodes        = obs.C("copa.csi.decodes")
+	mDecodeFailures = obs.C("copa.csi.decode_failures")
+	// mPayloadBytes records compressed payload sizes — the quantity behind
+	// the paper's ~2× compression-ratio claim.
+	mPayloadBytes = obs.H("copa.csi.payload_bytes", obs.ExpBuckets(16, 2, 12))
+)

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar bridge: expvar panics on duplicate
+// names, so the default registry is bridged at most once per process.
+var publishOnce sync.Once
+
+// PublishExpvar exports every metric of the default registry — current
+// and future — as an individual expvar variable under its own name
+// (e.g. "copa.power.equisnr_calls"), so GET /debug/vars carries the
+// live registry. Safe to call more than once.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		def.SetCreateHook(func(name string, read func() any) {
+			expvar.Publish(name, expvar.Func(read))
+		})
+	})
+}
+
+// DebugMux returns an http.ServeMux serving the operational surface:
+//
+//	/debug/vars     expvar JSON (all copa.* metrics via PublishExpvar)
+//	/debug/metrics  the registry snapshot as pretty JSON
+//	/debug/spans    the tracer's most recent spans, newest first
+//	/debug/pprof/*  the standard pprof endpoints
+func DebugMux() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(def.Snapshot())
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(defTracer.Recent(0))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug server on addr (":0" picks a free port)
+// and returns the bound address plus a shutdown func. The server runs
+// until shutdown is called or the process exits.
+func ServeDebug(addr string) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

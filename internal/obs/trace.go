@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span kept in a tracer's ring buffer.
+type SpanRecord struct {
+	// Name identifies the operation ("its.exchange", "scenario.4x2").
+	Name string `json:"name"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// Duration is how long the span ran.
+	Duration time.Duration `json:"duration_ns"`
+	// Err holds the error text for spans ended with EndErr, "" on
+	// success.
+	Err string `json:"err,omitempty"`
+}
+
+// Tracer records spans into a fixed-size ring buffer: the most recent
+// capacity spans are retained, older ones are overwritten. Recording is
+// a short critical section on a mutex — spans mark exchange- and
+// scenario-granularity operations, not per-subcarrier work.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// Span is an in-flight operation started with Tracer.Start. It is a
+// value type; dropping it without End simply records nothing.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start begins a span. When tracing is disabled (or the tracer is nil)
+// the returned span is inert and End is free.
+func (t *Tracer) Start(name string) Span {
+	if t == nil || !gate.Load() {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End finishes the span successfully.
+func (s Span) End() { s.finish("") }
+
+// EndErr finishes the span, recording err's text if non-nil.
+func (s Span) EndErr(err error) {
+	if err != nil {
+		s.finish(err.Error())
+		return
+	}
+	s.finish("")
+}
+
+func (s Span) finish(errText string) {
+	if s.t == nil {
+		return
+	}
+	rec := SpanRecord{Name: s.name, Start: s.start, Duration: time.Since(s.start), Err: errText}
+	s.t.mu.Lock()
+	if len(s.t.ring) < cap(s.t.ring) {
+		s.t.ring = append(s.t.ring, rec)
+	} else {
+		s.t.ring[s.t.next] = rec
+	}
+	s.t.next = (s.t.next + 1) % cap(s.t.ring)
+	s.t.total++
+	s.t.mu.Unlock()
+}
+
+// Event records an instantaneous, zero-duration span.
+func (t *Tracer) Event(name string) {
+	if t == nil || !gate.Load() {
+		return
+	}
+	Span{t: t, name: name, start: time.Now()}.finish("")
+}
+
+// Total returns how many spans have ever been recorded (including ones
+// already evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n retained spans, newest first. n <= 0 returns
+// everything retained.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := len(t.ring)
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// next-1 is the newest slot; walk backwards through the ring.
+		idx := (t.next - 1 - i + have) % have
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

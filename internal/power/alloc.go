@@ -74,6 +74,7 @@ func NoPA(coef []float64, budgetMW float64) Allocation {
 // When coef is a pure-SNR linearization this is the paper's Equi-SNR; fed
 // interference-aware coefficients it is one Equi-SINR step.
 func EquiSNR(coef []float64, budgetMW float64) Allocation {
+	mEquiSNRCalls.Inc()
 	n := len(coef)
 	order := make([]int, n)
 	for i := range order {
@@ -111,7 +112,9 @@ func EquiSNR(coef []float64, budgetMW float64) Allocation {
 	if best.Rate.GoodputBps == 0 {
 		// Nothing decodable at any drop count: fall back to equal split
 		// so the transmission descriptor stays well-formed.
+		mDropCount.ObserveInt(0)
 		return NoPA(coef, budgetMW)
 	}
+	mDropCount.ObserveInt(best.Dropped)
 	return best
 }

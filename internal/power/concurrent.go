@@ -106,6 +106,7 @@ func Concurrent(senders [2]SenderCSI, cfg Config) *Result {
 }
 
 func iterate(senders []SenderCSI, cfg Config) *Result {
+	timing := mAllocSeconds.Begin()
 	n := len(senders)
 	nSC := len(senders[0].Own.Subcarriers)
 	inner := cfg.inner()
@@ -221,5 +222,10 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 			break
 		}
 	}
+	mAllocIters.ObserveInt(best.Iterations)
+	if !best.Converged {
+		mConvergeFails.Inc()
+	}
+	timing.End()
 	return best
 }

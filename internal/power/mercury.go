@@ -184,6 +184,7 @@ func mmseInverse(m ofdm.Modulation, v float64) float64 {
 // subcarriers; subcarriers with coef_k ≤ λ receive no power at all —
 // the built-in cutoff that subsumes subcarrier selection.
 func MercuryWaterfill(m ofdm.Modulation, coef []float64, budgetMW float64) Allocation {
+	mMercuryCalls.Inc()
 	spend := func(lambda float64) ([]float64, float64) {
 		powers := make([]float64, len(coef))
 		var total float64

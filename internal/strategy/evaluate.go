@@ -226,6 +226,7 @@ func (ev *Evaluator) TransmissionsFor(o Outcome) (*precoding.Transmission, *prec
 // Equi-SINR power allocation and subcarrier selection, which is why the
 // paper calls this baseline COPA-SEQ's "starting point".
 func (ev *Evaluator) EvaluateCSMA() (Outcome, error) {
+	defer evalTimers[KindCSMA].Begin().End()
 	p, err := ev.beamformers(ev.Truth.Scenario.Streams)
 	if err != nil {
 		return Outcome{}, err
@@ -248,6 +249,7 @@ func (ev *Evaluator) EvaluateCSMADirectMap() (Outcome, error) {
 // EvaluateCOPASeq measures sequential transmission with per-stream power
 // allocation and subcarrier selection.
 func (ev *Evaluator) EvaluateCOPASeq() (Outcome, error) {
+	defer evalTimers[KindCOPASeq].Begin().End()
 	p, err := ev.beamformers(ev.Truth.Scenario.Streams)
 	if err != nil {
 		return Outcome{}, err
@@ -266,6 +268,7 @@ func (ev *Evaluator) EvaluateCOPASeq() (Outcome, error) {
 // EvaluateConcBF measures concurrent transmission with beamforming
 // precoders and joint Equi-SINR allocation (no nulling).
 func (ev *Evaluator) EvaluateConcBF() (Outcome, error) {
+	defer evalTimers[KindConcBF].Begin().End()
 	p, err := ev.beamformers(ev.Truth.Scenario.Streams)
 	if err != nil {
 		return Outcome{}, err
@@ -302,6 +305,7 @@ func (ev *Evaluator) planNulling(follower int) (nullingPlan, error) {
 		return nullingPlan{streams: [2]int{sc.Streams, sc.Streams}, sdaOn: -1}, nil
 	}
 	if sc.ClientAntennas < 2 {
+		mNullingInfeasible.Inc()
 		return nullingPlan{}, ErrNullingInfeasible
 	}
 	// SDA: follower's client drops to ClientAntennas−1 antennas. The
@@ -311,6 +315,7 @@ func (ev *Evaluator) planNulling(follower int) (nullingPlan, error) {
 	leaderDOF := precoding.NullingDOF(sc.APAntennas, reduced)
 	followerDOF := precoding.NullingDOF(sc.APAntennas, sc.ClientAntennas)
 	if leaderDOF < sc.Streams || followerDOF < reduced {
+		mNullingInfeasible.Inc()
 		return nullingPlan{}, ErrNullingInfeasible
 	}
 	plan := nullingPlan{sdaOn: follower, overcons: true}
@@ -395,6 +400,7 @@ func (ev *Evaluator) EvaluateNulling(kind Kind) (Outcome, error) {
 	if kind != KindNull && kind != KindConcNull {
 		return Outcome{}, errors.New("strategy: EvaluateNulling wants KindNull or KindConcNull")
 	}
+	defer evalTimers[kind].Begin().End()
 	a, err := ev.evaluateNullVariant(kind, 1)
 	if err != nil {
 		return Outcome{}, err
@@ -413,6 +419,7 @@ func (ev *Evaluator) EvaluateNulling(kind Kind) (Outcome, error) {
 // the outcomes by kind. Infeasible strategies (nulling for single-antenna
 // APs) are simply absent.
 func (ev *Evaluator) EvaluateAll() (map[Kind]Outcome, error) {
+	defer mEvalAllSeconds.Begin().End()
 	out := make(map[Kind]Outcome)
 	csma, err := ev.EvaluateCSMA()
 	if err != nil {

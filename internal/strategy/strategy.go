@@ -122,6 +122,12 @@ func Select(mode Mode, outcomes map[Kind]Outcome) Outcome {
 		panic("strategy: COPA-SEQ outcome is required for selection")
 	}
 	best := seq
+	defer func() {
+		mSelections.Inc()
+		if mode >= 0 && int(mode) < len(selectedKinds) && best.Kind >= 0 && int(best.Kind) < len(selectedKinds[0]) {
+			selectedKinds[mode][best.Kind].Inc()
+		}
+	}()
 	for _, k := range []Kind{KindConcBF, KindConcNull} {
 		o, ok := outcomes[k]
 		if !ok {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"copa/internal/channel"
+	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/rng"
 	"copa/internal/strategy"
@@ -68,6 +69,8 @@ func DefaultConfig(seed int64) Config {
 
 // topologyOutcomes evaluates every scheme on one deployment.
 func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map[string]float64, error) {
+	mTopologies.Inc()
+	defer mTopologySeconds.Begin().End()
 	out := make(map[string]float64)
 
 	ev := strategy.NewEvaluator(dep, cfg.Impairments, src.Split(1))
@@ -83,6 +86,7 @@ func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map
 	}
 	out[SchemeCOPA] = strategy.Select(strategy.ModeMax, outs).Aggregate()
 	out[SchemeCOPAFair] = strategy.Select(strategy.ModeFair, outs).Aggregate()
+	mTopologyAggMbps.Observe(out[SchemeCOPA] / 1e6)
 
 	if !cfg.SkipCOPAPlus {
 		// COPA+: same pipeline with iterated mercury/water-filling as the
@@ -116,6 +120,10 @@ func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map
 // RunScenario evaluates all schemes over a population of topologies,
 // in parallel across topologies, deterministically per (seed, scenario).
 func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
+	span := obs.Trace("testbed.scenario")
+	defer span.End()
+	defer mScenarioSeconds.Begin().End()
+	mScenarioRuns.Inc()
 	deps := channel.GenerateTestbed(cfg.Seed, sc, cfg.Topologies)
 	if cfg.InterferenceDeltaDB != 0 {
 		for i, d := range deps {
@@ -152,6 +160,8 @@ func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
 			defer func() { <-sem }()
 			out, err := topologyOutcomes(dep, cfg, srcs[i])
 			results[i] = one{idx: i, out: out, err: err}
+			obs.Logger().Debug("topology evaluated",
+				"scenario", sc.Name, "topology", i, "seed", cfg.Seed, "err", err)
 		}(i, dep)
 	}
 	wg.Wait()
@@ -163,6 +173,8 @@ func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
 			res.PerTopology[scheme] = append(res.PerTopology[scheme], v)
 		}
 	}
+	obs.Logger().Debug("scenario complete",
+		"scenario", sc.Name, "topologies", cfg.Topologies, "seed", cfg.Seed)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"copa/internal/channel"
 	"copa/internal/mac"
+	"copa/internal/obs"
 	"copa/internal/ofdm"
 	"copa/internal/precoding"
 	"copa/internal/rng"
@@ -21,6 +22,8 @@ type Figure2 struct {
 
 // RunFigure2 draws one indoor link at about −60 dBm and measures it.
 func RunFigure2(seed int64) Figure2 {
+	defer obs.Trace("testbed.figure2").End()
+	defer mFigureSeconds.Begin().End()
 	src := rng.New(seed)
 	link := channel.NewLink(src, 2, 1, channel.DBToLinear(-60-channel.MaxTxPowerDBm))
 	perSC := channel.TxBudgetPerSubcarrierMW()
@@ -52,6 +55,8 @@ type Figure3 struct {
 // switches from beamforming (toward its own client) to nulling toward C1,
 // with realistic CSI/TX impairments, and we record what changes at C1.
 func RunFigure3(seed int64, topologies int) Figure3 {
+	defer obs.Trace("testbed.figure3").End()
+	defer mFigureSeconds.Begin().End()
 	master := rng.New(seed)
 	imp := channel.DefaultImpairments()
 	var fig Figure3
@@ -146,6 +151,8 @@ type Figure4 struct {
 
 // RunFigure4 measures one 4×2 topology.
 func RunFigure4(seed int64) Figure4 {
+	defer obs.Trace("testbed.figure4").End()
+	defer mFigureSeconds.Begin().End()
 	src := rng.New(seed)
 	imp := channel.DefaultImpairments()
 	dep := channel.NewDeployment(src.Split(1), channel.Scenario4x2)
@@ -196,6 +203,8 @@ type Figure7 struct {
 // phenomenon (COPA drops several subcarriers and reaches a higher
 // bitrate); the first candidate is returned if none does.
 func RunFigure7(seed int64) Figure7 {
+	defer obs.Trace("testbed.figure7").End()
+	defer mFigureSeconds.Begin().End()
 	var first Figure7
 	for s := seed; s < seed+24; s++ {
 		f := runFigure7One(s)
@@ -294,6 +303,8 @@ type Figure9 struct {
 
 // RunFigure9 samples the testbed population.
 func RunFigure9(seed int64, topologies int) Figure9 {
+	defer obs.Trace("testbed.figure9").End()
+	defer mFigureSeconds.Begin().End()
 	deps := channel.GenerateTestbed(seed, channel.Scenario4x2, topologies)
 	var fig Figure9
 	for _, d := range deps {
@@ -328,6 +339,8 @@ var Figure14Schemes = []string{
 // RunFigure14 evaluates the three scenarios with and without
 // per-subcarrier rate selection.
 func RunFigure14(seed int64, topologies int) (Figure14, error) {
+	defer obs.Trace("testbed.figure14").End()
+	defer mFigureSeconds.Begin().End()
 	fig := Figure14{Improvement: make(map[string]map[string]float64)}
 	for _, sc := range []channel.Scenario{channel.Scenario1x1, channel.Scenario4x2, channel.Scenario3x2} {
 		cfg := DefaultConfig(seed)

@@ -1,0 +1,72 @@
+// Benchmarks comparing the instrumented hot path against the same path
+// with observability gated off (obs.Disabled): the handle-based design
+// must keep instrumentation within noise of the disabled baseline.
+//
+//	go test -bench=EquiSNR -benchmem
+package copa
+
+import (
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/obs"
+	"copa/internal/ofdm"
+	"copa/internal/power"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+// benchCoef is a fixed 52-subcarrier coefficient vector for the inner
+// allocator benchmarks.
+var benchCoef = func() []float64 {
+	src := rng.New(99)
+	coef := make([]float64, ofdm.NumSubcarriers)
+	for k := range coef {
+		coef[k] = 100 + 900*src.Float64()
+	}
+	return coef
+}()
+
+func benchEquiSNR(b *testing.B) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		power.EquiSNR(benchCoef, 10)
+	}
+}
+
+// BenchmarkEquiSNRInstrumented times Algorithm 1 with metrics on (the
+// default): one counter increment plus one histogram observation per call.
+func BenchmarkEquiSNRInstrumented(b *testing.B) { benchEquiSNR(b) }
+
+// BenchmarkEquiSNRDisabled is the obs.Disabled() baseline; compare with
+// BenchmarkEquiSNRInstrumented to bound instrumentation overhead (<5%).
+func BenchmarkEquiSNRDisabled(b *testing.B) {
+	defer obs.Disabled()()
+	benchEquiSNR(b)
+}
+
+func benchEvaluateAll(b *testing.B) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(int64(i))
+		dep := channel.NewDeployment(src.Split(1), channel.Scenario4x2)
+		ev := strategy.NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
+		if _, err := ev.EvaluateAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateAllInstrumented times the full strategy pipeline with
+// spans, timers, and counters active.
+func BenchmarkEvaluateAllInstrumented(b *testing.B) { benchEvaluateAll(b) }
+
+// BenchmarkEvaluateAllDisabled is the same pipeline with the gate off.
+func BenchmarkEvaluateAllDisabled(b *testing.B) {
+	defer obs.Disabled()()
+	benchEvaluateAll(b)
+}
