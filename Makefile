@@ -3,8 +3,9 @@
 # observability layer is verified under.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race vet bench bench-obs clean
+.PHONY: all build test race vet bench bench-obs fuzz clean
 
 all: build test
 
@@ -28,6 +29,15 @@ bench:
 # bench-obs compares the instrumented hot path against obs.Disabled().
 bench-obs:
 	$(GO) test -run XXX -bench 'EquiSNR|EvaluateAll' -benchmem -count=3 .
+
+# fuzz campaigns the wire-format parsers (go test accepts one -fuzz
+# target per invocation, hence the sequence). FUZZTIME=2m make fuzz for
+# a longer run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzITSInitParse$$' -fuzztime $(FUZZTIME) ./internal/mac
+	$(GO) test -run '^$$' -fuzz '^FuzzITSReqParse$$' -fuzztime $(FUZZTIME) ./internal/mac
+	$(GO) test -run '^$$' -fuzz '^FuzzITSAckParse$$' -fuzztime $(FUZZTIME) ./internal/mac
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMatrices$$' -fuzztime $(FUZZTIME) ./internal/csi
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"net"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with output to a temp file and returns exit code
+// plus everything printed.
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "copad-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	code := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// freePort reserves an ephemeral UDP port and releases it for the test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := conn.LocalAddr().String()
+	conn.Close()
+	return addr
+}
+
+// TestFollowerWithNoLeaderFallsBackCleanly is the acceptance check for
+// the 100%-effective-loss path: a follower that never hears an INIT must
+// exit 0 and report the CSMA fallback, not crash or hang.
+func TestFollowerWithNoLeaderFallsBackCleanly(t *testing.T) {
+	code, out := capture(t, []string{
+		"-listen", "127.0.0.1:0", "-peer", "127.0.0.1:1",
+		"-wait", "300ms", "-leg-timeout", "50ms", "-seed", "1",
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "CSMA fallback") {
+		t.Fatalf("output does not report the fallback:\n%s", out)
+	}
+}
+
+// TestLeaderAtTotalLossFallsBackCleanly: a leader whose every frame is
+// dropped exhausts its retries and exits 0 reporting the fallback.
+func TestLeaderAtTotalLossFallsBackCleanly(t *testing.T) {
+	code, out := capture(t, []string{
+		"-lead", "-listen", "127.0.0.1:0", "-peer", "127.0.0.1:1",
+		"-loss", "1", "-leg-timeout", "30ms", "-seed", "1",
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "CSMA fallback") || !strings.Contains(out, "timeout") {
+		t.Fatalf("output does not attribute the fallback:\n%s", out)
+	}
+}
+
+// TestTwoProcessExchangeOverUDP runs both roles in-process over real
+// loopback sockets — the two-terminal demo — and requires both to agree
+// on a negotiated strategy.
+func TestTwoProcessExchangeOverUDP(t *testing.T) {
+	leadAddr, folAddr := freePort(t), freePort(t)
+
+	type result struct {
+		code int
+		out  string
+	}
+	folDone := make(chan result, 1)
+	go func() {
+		code, out := capture(t, []string{
+			"-listen", folAddr, "-peer", leadAddr,
+			"-wait", "5s", "-leg-timeout", "250ms", "-seed", "7",
+		})
+		folDone <- result{code, out}
+	}()
+
+	code, out := capture(t, []string{
+		"-lead", "-listen", leadAddr, "-peer", folAddr,
+		"-leg-timeout", "250ms", "-seed", "7",
+	})
+	if code != 0 {
+		t.Fatalf("leader exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "negotiated strategy") {
+		t.Fatalf("leader printed no strategy:\n%s", out)
+	}
+
+	fr := <-folDone
+	if fr.code != 0 {
+		t.Fatalf("follower exit = %d\n%s", fr.code, fr.out)
+	}
+	if !strings.Contains(fr.out, "verdict:") {
+		t.Fatalf("follower printed no verdict:\n%s", fr.out)
+	}
+	// The verdict kinds must agree.
+	leadConc := strings.Contains(out, "(concurrent")
+	folConc := strings.Contains(fr.out, "concurrent (transmit")
+	if leadConc != folConc {
+		t.Fatalf("verdict mismatch:\nleader: %s\nfollower: %s", out, fr.out)
+	}
+}
+
+// TestBadFlagsExitTwo pins the usage-error paths.
+func TestBadFlagsExitTwo(t *testing.T) {
+	if code, _ := capture(t, []string{"-scenario", "9x9"}); code != 2 {
+		t.Errorf("bad scenario exit = %d, want 2", code)
+	}
+	if code, _ := capture(t, []string{"-mode", "greedy"}); code != 2 {
+		t.Errorf("bad mode exit = %d, want 2", code)
+	}
+}

@@ -31,9 +31,11 @@ func main() { os.Exit(run(os.Args[1:])) }
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("copasim", flag.ExitOnError)
-	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
+	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
 	seed := fs.Int64("seed", 1, "master seed (same seed → same testbed)")
 	topologies := fs.Int("topologies", 30, "number of topologies per scenario")
+	lossRate := fs.Float64("loss", 0, "-fig loss: evaluate this single control-frame loss rate instead of the 0–30% sweep")
+	burst := fs.Float64("burst", 1, "-fig loss: mean loss-burst length in frames (>1 switches to Gilbert–Elliott bursts)")
 	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
 	outDir := fs.String("out", "", "directory to also write CSV data files into")
 	verbose := fs.Bool("v", false, "debug logging (per-topology progress)")
@@ -137,9 +139,10 @@ func run(args []string) int {
 	runOne("headlines", func() error { return printHeadlines(*seed, *topologies) })
 	runOne("accuracy", func() error { return printAccuracy(*seed, *topologies) })
 	runOne("backlog", func() error { return printBacklog(*seed) })
+	runOne("loss", func() error { return printLossSweep(*seed, *topologies, *lossRate, *burst) })
 	if !matched {
 		logger.Error("unknown figure", "fig", *fig)
-		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,all")
+		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
 		return 2
 	}
 	if failed {
@@ -167,6 +170,8 @@ func title(name string) string {
 		return "Strategy prediction accuracy (§3.3)"
 	case "backlog":
 		return "Backlog drain (§3.5)"
+	case "loss":
+		return "Throughput vs control-frame loss"
 	default:
 		return "Figure " + name
 	}
@@ -351,6 +356,38 @@ func printBacklog(seed int64) error {
 			}
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+func printLossSweep(seed int64, topologies int, loss, burst float64) error {
+	cfg := testbed.DefaultLossSweepConfig(seed)
+	// The sweep is exchange-by-exchange (not batch-evaluated), so cap the
+	// population to keep -fig all fast.
+	if topologies < cfg.Topologies {
+		cfg.Topologies = topologies
+	}
+	cfg.MeanBurst = burst
+	if loss > 0 {
+		cfg.LossRates = []float64{loss}
+	}
+	sweep, err := testbed.RunLossSweep(channel.Scenario4x2, cfg)
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		maybeExport(sweep.ExportCSV(csvDir))
+	}
+	kind := "i.i.d."
+	if burst > 1 {
+		kind = fmt.Sprintf("Gilbert–Elliott, mean burst %.1f", burst)
+	}
+	fmt.Printf("4x2, %d topologies, %s loss — realized aggregate vs ITS frame loss\n", cfg.Topologies, kind)
+	fmt.Printf("CSMA baseline: %.1f Mb/s\n", sweep.MeanCSMABps()/1e6)
+	fmt.Println("  loss   aggregate   fallback  retries/exch  ctrl-bytes")
+	for _, p := range sweep.Points {
+		fmt.Printf("  %3.0f%%  %7.1f Mb/s  %7.1f%%  %12.2f  %10.0f\n",
+			p.Loss*100, p.AggregateBps/1e6, p.FallbackRate*100, p.RetriesPerExchange, p.ControlBytesPerExchange)
 	}
 	return nil
 }

@@ -214,6 +214,24 @@ func (ap *AP) HandleITSAck(ackFrame []byte, now time.Duration) (*mac.ITSAck, *pr
 	return ack, tx, nil
 }
 
+// CSMATransmission is the stock-802.11n transmission this AP reverts to
+// when an ITS exchange exhausts its retry budget: implicit SVD
+// beamforming toward its own client with equal power on every subcarrier
+// — the paper's CSMA baseline, requiring no coordination at all.
+func (ap *AP) CSMATransmission(now time.Duration) (*precoding.Transmission, error) {
+	own, ok := ap.Cache.Get(ap.ClientAddr, now)
+	if !ok {
+		return nil, fmt.Errorf("%w for own client", errNoCSI)
+	}
+	streams := ap.Scenario.Streams
+	bf, err := precoding.Beamforming(own, streams)
+	if err != nil {
+		return nil, err
+	}
+	powers := precoding.EqualSplit(len(own.Subcarriers), streams, channel.BudgetForAntennasMW(ap.Scenario.APAntennas))
+	return precoding.NewTransmission(bf, powers, ap.Imp), nil
+}
+
 // SoloTransmission computes this AP's stand-alone COPA-SEQ transmission
 // toward its own client (beamforming plus Equi-SNR allocation with
 // subcarrier selection) from cached CSI.

@@ -6,6 +6,7 @@ import (
 
 	"copa/internal/channel"
 	"copa/internal/mac"
+	"copa/internal/medium"
 	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/rng"
@@ -26,6 +27,10 @@ type Cluster struct {
 	Truth *channel.MultiDeployment
 	// Deference enables the §3.1 post-sequential sit-out.
 	Deference bool
+	// Med carries the cluster's ITS frames (Perfect by default).
+	Med medium.Medium
+	// Retry bounds the exchange engine's persistence against loss.
+	Retry RetryPolicy
 
 	clk    time.Duration
 	src    *rng.Source
@@ -40,6 +45,8 @@ func NewCluster(dep *channel.MultiDeployment, imp channel.Impairments, coherence
 		src:    src,
 		imp:    imp,
 		sitOut: make([]bool, dep.Pairs),
+		Med:    medium.NewPerfect(),
+		Retry:  DefaultRetryPolicy(),
 	}
 	for i := 0; i < dep.Pairs; i++ {
 		ap := NewAP(
@@ -68,6 +75,9 @@ func (c *Cluster) MeasureCSI() {
 type RoundResult struct {
 	Leader, Follower int
 	Concurrent       bool
+	// Fallback reports the ITS exchange exhausted its retry budget and
+	// the round degraded to a plain-CSMA solo transmission.
+	Fallback bool
 	// TputBps[i] is client i's throughput during this round's TXOP(s);
 	// zero for deferring pairs.
 	TputBps []float64
@@ -138,26 +148,30 @@ func (c *Cluster) RunRound() (*RoundResult, error) {
 	span := obs.Trace("its.exchange")
 	timing := mExchangeSeconds.Begin()
 	mSessions.Inc()
-	initFrame := lead.BuildITSInit(uint32(mac.TxOp.Microseconds()))
-	reqFrame, err := fol.BuildITSReq(initFrame, c.clk)
-	if err != nil {
-		mSessionFailures.Inc()
-		span.EndErr(err)
-		return nil, fmt.Errorf("follower REQ: %w", err)
+	if c.Med == nil {
+		c.Med = medium.NewPerfect()
 	}
-	dec, err := lead.HandleITSReq(reqFrame, c.clk)
+	ex, err := runExchangeOverMedium(c.Med, lead, fol, uint32(mac.TxOp.Microseconds()), c.clk, c.Retry)
 	if err != nil {
-		mSessionFailures.Inc()
 		span.EndErr(err)
-		return nil, fmt.Errorf("leader decision: %w", err)
+		return nil, err
 	}
-	ack, folTx, err := fol.HandleITSAck(dec.Ack, c.clk)
-	if err != nil {
-		mSessionFailures.Inc()
-		span.EndErr(err)
-		return nil, fmt.Errorf("follower ACK: %w", err)
+	if ex.Fallback {
+		// Negotiation failed on the air: the round degrades to plain
+		// CSMA — the contention winner transmits alone to its client.
+		span.EndErr(errExhausted)
+		timing.End()
+		res.Fallback = true
+		tx, err := lead.CSMATransmission(c.clk)
+		if err != nil {
+			return res, nil // no CSI either: the TXOP is wasted
+		}
+		g := power.GoodputFor(c.Truth.H[leader][leader], tx, nil, nil, noise)
+		res.TputBps[leader] = g * (1 - mac.CSMACTSOverhead() - mac.DataOverheadFraction)
+		return res, nil
 	}
-	mControlBytes.ObserveInt(len(initFrame) + len(reqFrame) + len(dec.Ack))
+	dec, ack, folTx := ex.dec, ex.ack, ex.folTx
+	mControlBytes.ObserveInt(ex.ControlBytes)
 	if ack.Decision == mac.DecideConcurrent {
 		mSessionsConcurrent.Inc()
 	}

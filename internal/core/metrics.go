@@ -18,6 +18,22 @@ var (
 	mControlBytes       = obs.H("copa.its.control_bytes", obs.ExpBuckets(64, 2, 12))
 	mExchangeSeconds    = obs.T("copa.its.exchange_seconds")
 
+	// Per-cause terminal failures: the aggregate above is kept for
+	// compatibility; these attribute it (timeout vs CRC vs the three
+	// protocol stages) on /debug/metrics.
+	mFailReqBuild       = obs.C("copa.its.session_failures_req_build")
+	mFailLeaderDecision = obs.C("copa.its.session_failures_leader_decision")
+	mFailAckHandle      = obs.C("copa.its.session_failures_ack_handle")
+	mFailTimeout        = obs.C("copa.its.session_failures_timeout")
+	mFailCRC            = obs.C("copa.its.session_failures_crc")
+
+	// Transport behaviour of the exchange engine over a lossy medium:
+	// retryable leg events, retransmissions, and CSMA fallbacks.
+	mLegTimeouts = obs.C("copa.its.leg_timeouts")
+	mLegCRCDrops = obs.C("copa.its.leg_crc_drops")
+	mRetries     = obs.C("copa.its.retries")
+	mFallbacks   = obs.C("copa.its.fallbacks")
+
 	// Schedule and cluster simulation loops.
 	mScheduleRuns    = obs.C("copa.core.schedule_runs")
 	mScheduleSeconds = obs.T("copa.core.schedule_seconds")

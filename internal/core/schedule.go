@@ -102,7 +102,15 @@ func (p *Pair) RunSchedule(cfg ScheduleConfig) (ScheduleResult, error) {
 		turn := session.LeaderIdx
 		for p.clk < next {
 			res.TXOPs++
-			if session.Concurrent {
+			if session.Fallback {
+				// Retry budget exhausted: plain CSMA turn-taking until the
+				// next sounding gives the pair another chance.
+				if tx, err := p.AP[turn].CSMATransmission(p.clk); err == nil {
+					g := power.GoodputFor(p.Truth.H[turn][turn], tx, nil, nil, noise)
+					sumTput[turn] += g * (1 - mac.CSMACTSOverhead() - mac.DataOverheadFraction)
+				}
+				turn = 1 - turn
+			} else if session.Concurrent {
 				oh := ovm.COPAConcOverhead(refresh)
 				for j := 0; j < 2; j++ {
 					g := power.GoodputFor(p.Truth.H[j][j], session.Tx[j], p.Truth.H[1-j][j], session.Tx[1-j], noise)

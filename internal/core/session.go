@@ -1,11 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"copa/internal/channel"
 	"copa/internal/mac"
+	"copa/internal/medium"
 	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/precoding"
@@ -29,9 +29,22 @@ type Session struct {
 	Tx [2]*precoding.Transmission
 	// Concurrent mirrors Outcome.Concurrent.
 	Concurrent bool
-	// ControlBytes is the total size of the three ITS frames exchanged,
-	// for overhead accounting.
+	// ControlBytes is the total size of the ITS frames transmitted for
+	// this session, including retransmissions, for overhead accounting.
 	ControlBytes int
+	// Retries is the number of retransmission attempts the exchange
+	// needed (zero over a perfect medium).
+	Retries int
+	// Fallback reports the exchange exhausted its retry budget: no
+	// strategy was negotiated and the pair reverts to plain CSMA for
+	// the remainder of the coherence time. Outcome and Tx are zero.
+	Fallback bool
+	// Cause classifies a fallback's terminal failure (CauseNone on a
+	// successful exchange).
+	Cause FailCause
+	// ExchangeAirtime is the virtual medium time the exchange consumed:
+	// frame airtimes, turnarounds, timeout waits and backoffs.
+	ExchangeAirtime time.Duration
 }
 
 // Pair wires two APs and their clients' true channels together for
@@ -40,6 +53,12 @@ type Session struct {
 type Pair struct {
 	AP    [2]*AP
 	Truth *channel.Deployment
+	// Med is the control-plane transport ITS frames cross. NewPair
+	// installs a Perfect in-memory medium (today's lossless behaviour);
+	// swap in a medium.Faulty to study the protocol under impairments.
+	Med medium.Medium
+	// Retry bounds the exchange engine's persistence against loss.
+	Retry RetryPolicy
 	clk   time.Duration
 	src   *rng.Source
 	imp   channel.Impairments
@@ -49,7 +68,7 @@ type Pair struct {
 // from the pair's seed; both APs use the given selection mode.
 func NewPair(dep *channel.Deployment, imp channel.Impairments, coherence time.Duration, mode strategy.Mode, src *rng.Source) *Pair {
 	mk := func(b byte) mac.Addr { return mac.Addr{0x02, 0xC0, 0xFA, 0, 0, b} }
-	p := &Pair{Truth: dep, src: src, imp: imp}
+	p := &Pair{Truth: dep, src: src, imp: imp, Med: medium.NewPerfect(), Retry: DefaultRetryPolicy()}
 	for i := 0; i < 2; i++ {
 		p.AP[i] = NewAP(mk(byte(i)), mk(byte(0x10+i)), dep.Scenario, imp, coherence, mode)
 	}
@@ -90,47 +109,47 @@ func (p *Pair) MeasureCSI() {
 }
 
 // RunExchange performs one full ITS exchange: contention elects a leader
-// (uniformly at random, as DCF does), then INIT → REQ → ACK flow through
-// their real wire formats. The returned session's Tx are in caller
+// (uniformly at random, as DCF does), then INIT → REQ → ACK cross the
+// pair's medium as real frames, with airtime-derived per-leg timeouts
+// and bounded retries. The returned session's Tx are in caller
 // coordinates (index 0 = p.AP[0]).
+//
+// Over a lossless medium this is behaviour-identical to the old
+// synchronous exchange. Over a lossy one, transport failures that
+// outlive the retry budget return a Fallback session (nil error): the
+// pair reverts to plain CSMA for the rest of the coherence time.
+// Protocol failures (no fresh CSI, infeasible strategy) still error.
 func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
 	span := obs.Trace("its.exchange")
 	timing := mExchangeSeconds.Begin()
 	mSessions.Inc()
 	leader := p.src.Intn(2)
 	follower := 1 - leader
-	lead, fol := p.AP[leader], p.AP[follower]
 
-	initFrame := lead.BuildITSInit(airtimeUS)
-	reqFrame, err := fol.BuildITSReq(initFrame, p.clk)
+	res, err := runExchangeOverMedium(p.med(), p.AP[leader], p.AP[follower], airtimeUS, p.clk, p.Retry)
 	if err != nil {
-		mSessionFailures.Inc()
 		span.EndErr(err)
-		return nil, fmt.Errorf("follower REQ: %w", err)
+		return nil, err
 	}
-	dec, err := lead.HandleITSReq(reqFrame, p.clk)
-	if err != nil {
-		mSessionFailures.Inc()
-		span.EndErr(err)
-		return nil, fmt.Errorf("leader decision: %w", err)
-	}
-	ack, folTx, err := fol.HandleITSAck(dec.Ack, p.clk)
-	if err != nil {
-		mSessionFailures.Inc()
-		span.EndErr(err)
-		return nil, fmt.Errorf("follower ACK: %w", err)
-	}
-
 	s := &Session{
-		LeaderIdx:    leader,
-		Outcome:      dec.Outcome,
-		Concurrent:   ack.Decision == mac.DecideConcurrent,
-		ControlBytes: len(initFrame) + len(reqFrame) + len(dec.Ack),
+		LeaderIdx:       leader,
+		ControlBytes:    res.ControlBytes,
+		Retries:         res.Retries,
+		ExchangeAirtime: res.Airtime,
 	}
-	s.Tx[leader] = dec.LeaderTx
+	if res.Fallback {
+		s.Fallback = true
+		s.Cause = res.Cause
+		span.EndErr(errExhausted)
+		timing.End()
+		return s, nil
+	}
+	s.Outcome = res.dec.Outcome
+	s.Concurrent = res.ack.Decision == mac.DecideConcurrent
+	s.Tx[leader] = res.dec.LeaderTx
 	// For sequential verdicts folTx is the follower's solo COPA-SEQ
 	// transmission for its own (deferred) turn.
-	s.Tx[follower] = folTx
+	s.Tx[follower] = res.folTx
 	if s.Concurrent {
 		mSessionsConcurrent.Inc()
 	}
@@ -140,15 +159,29 @@ func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
 	return s, nil
 }
 
+// med returns the pair's medium, defaulting to a fresh Perfect one so
+// zero-valued pairs keep working.
+func (p *Pair) med() medium.Medium {
+	if p.Med == nil {
+		p.Med = medium.NewPerfect()
+	}
+	return p.Med
+}
+
 // MeasuredThroughputs scores a session's transmissions on the pair's true
 // channels, returning per-client effective throughput in caller
 // coordinates (airtime share and MAC overhead included). For sequential
 // sessions each transmitting AP is scored alone at half airtime; a nil
-// follower transmission contributes zero (it defers this TXOP).
+// follower transmission contributes zero (it defers this TXOP). Fallback
+// sessions score as plain CSMA: stock beamforming, turn taking,
+// CTS-to-self overhead — the paper's baseline.
 func (p *Pair) MeasuredThroughputs(s *Session) [2]float64 {
 	noise := channel.NoisePerSubcarrierMW()
 	ovm := mac.DefaultOverheadModel()
 	var out [2]float64
+	if s.Fallback {
+		return p.CSMAThroughputs()
+	}
 	if s.Concurrent {
 		oh := ovm.COPAConcOverhead(strategy.DefaultCoherence)
 		for j := 0; j < 2; j++ {
@@ -164,6 +197,26 @@ func (p *Pair) MeasuredThroughputs(s *Session) [2]float64 {
 		}
 		g := power.GoodputFor(p.Truth.H[j][j], s.Tx[j], nil, nil, noise)
 		out[j] = g * 0.5 * (1 - oh - mac.DataOverheadFraction)
+	}
+	return out
+}
+
+// CSMAThroughputs scores the pair's plain-CSMA baseline on the true
+// channels: each AP beamforms to its own client with equal power, the
+// two take turns (half airtime each), and the overhead is CSMA's
+// CTS-to-self cost. This is both the comparison baseline for the loss
+// sweep and the realized throughput of a Fallback session. An AP with no
+// fresh CSI contributes zero.
+func (p *Pair) CSMAThroughputs() [2]float64 {
+	noise := channel.NoisePerSubcarrierMW()
+	var out [2]float64
+	for j := 0; j < 2; j++ {
+		tx, err := p.AP[j].CSMATransmission(p.clk)
+		if err != nil {
+			continue
+		}
+		g := power.GoodputFor(p.Truth.H[j][j], tx, nil, nil, noise)
+		out[j] = g * 0.5 * (1 - mac.CSMACTSOverhead() - mac.DataOverheadFraction)
 	}
 	return out
 }

@@ -296,3 +296,17 @@ func UnmarshalITSAck(data []byte) (*ITSAck, error) {
 // WireSize returns the serialized size of any marshaled frame, used for
 // airtime accounting.
 func WireSize(frame []byte) int { return len(frame) }
+
+// FrameTypeOf peeks at a frame's type from its header without validating
+// the CRC — what a receiver's filter does before committing to a full
+// parse. It reports false for frames too short or with a garbled magic.
+func FrameTypeOf(data []byte) (FrameType, bool) {
+	if len(data) < headerBytes || binary.LittleEndian.Uint16(data[0:2]) != frameMagic {
+		return 0, false
+	}
+	t := FrameType(data[3])
+	if t < TypeITSInit || t > TypeITSAck {
+		return 0, false
+	}
+	return t, true
+}

@@ -10,12 +10,31 @@ import (
 // `go test -fuzz FuzzITS ./internal/mac` for a real campaign; under plain
 // `go test` the seed corpus below executes as regression tests.
 
+// addTransportSeeds enriches a target's corpus with the frames a lossy
+// medium actually produces: truncations of a valid marshal (mid-header,
+// mid-body, one byte short) and frames whose header survives intact but
+// whose body no longer matches the CRC.
+func addTransportSeeds(f *testing.F, valid []byte) {
+	f.Helper()
+	for _, n := range []int{1, headerBytes - 1, headerBytes, len(valid) / 2, len(valid) - 1} {
+		if n > 0 && n < len(valid) {
+			f.Add(append([]byte(nil), valid[:n]...))
+		}
+	}
+	if len(valid) > headerBytes {
+		crcFail := append([]byte(nil), valid...)
+		crcFail[headerBytes] ^= 0x01 // first body byte: header stays valid
+		f.Add(crcFail)
+	}
+}
+
 func FuzzITSInitParse(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&ITSInit{Leader: Addr{1}, Client: Addr{2}, AirtimeUS: 4000}).Marshal())
 	seed := (&ITSInit{AirtimeUS: 1}).Marshal()
 	seed[len(seed)-1] ^= 0xff
 	f.Add(seed)
+	addTransportSeeds(f, (&ITSInit{Leader: Addr{3}, Client: Addr{4}, AirtimeUS: 2000}).Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := UnmarshalITSInit(data)
 		if err != nil {
@@ -30,6 +49,13 @@ func FuzzITSInitParse(f *testing.F) {
 func FuzzITSReqParse(f *testing.F) {
 	f.Add([]byte{})
 	f.Add((&ITSReq{CSIToClient1: []byte{1, 2}, CSIToClient2: []byte{3}}).Marshal())
+	addTransportSeeds(f, (&ITSReq{
+		Leader:       Addr{1},
+		Follower:     Addr{2},
+		AirtimeUS:    4000,
+		CSIToClient1: []byte{9, 8, 7, 6},
+		CSIToClient2: []byte{5, 4, 3},
+	}).Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := UnmarshalITSReq(data)
 		if err != nil {
@@ -48,6 +74,13 @@ func FuzzITSAckParse(f *testing.F) {
 		Decision:         DecideConcurrent,
 		FollowerPrecoder: []byte{1},
 		FollowerPowerMW:  [][]float64{{0.5}},
+	}).Marshal())
+	addTransportSeeds(f, (&ITSAck{
+		Leader:           Addr{1},
+		Follower:         Addr{2},
+		Decision:         DecideConcurrent,
+		FollowerPrecoder: []byte{1, 2, 3, 4},
+		FollowerPowerMW:  [][]float64{{0.25, 0.75}},
 	}).Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := UnmarshalITSAck(data)

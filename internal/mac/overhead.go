@@ -113,6 +113,49 @@ func (m OverheadModel) COPAConcOverhead(coherence time.Duration) float64 {
 	return asFraction(oh)
 }
 
+// ITSTimeouts bundles the per-leg reply deadlines of the ITS exchange,
+// derived from frame airtimes: the sent frame's time on air, a SIFS of
+// turnaround, the expected reply's airtime (control skeleton at the base
+// rate, CSI/precoder payloads at the AP–AP rate), a SIFS of guard, and
+// one slot of scheduling slack. A sender that hears nothing within its
+// leg deadline must assume the frame (or its reply) was lost.
+type ITSTimeouts struct {
+	// REQ is how long an INIT sender waits for the follower's REQ — the
+	// longest leg, because the REQ carries two compressed CSI payloads.
+	REQ time.Duration
+	// ACK is how long a REQ sender waits for the leader's ACK, which
+	// carries the precoder and power payloads plus the leader's strategy
+	// computation (budgeted at one extra slot).
+	ACK time.Duration
+}
+
+// ITSTimeouts derives the per-leg deadlines from the model's payload
+// sizes and rates.
+func (m OverheadModel) ITSTimeouts() ITSTimeouts {
+	req := itsInitAirtime() + SIFS +
+		FrameAirtime(48+headerBytes+trailerBytes, ControlRateBps) +
+		payloadAirtime(2*m.CSIBytesPerLink, m.PayloadRateBps) +
+		SIFS + SlotTime
+	ack := FrameAirtime(48+headerBytes+trailerBytes, ControlRateBps) + SIFS +
+		FrameAirtime(49+headerBytes+trailerBytes, ControlRateBps) +
+		payloadAirtime(m.PrecoderBytes+m.PowerBytes, m.PayloadRateBps) +
+		SIFS + 2*SlotTime
+	return ITSTimeouts{REQ: req, ACK: ack}
+}
+
+// Clamp raises both deadlines to at least floor — real media (UDP, OS
+// schedulers) need far more slack than the pure airtime arithmetic;
+// simulated media keep the exact values with a zero floor.
+func (t ITSTimeouts) Clamp(floor time.Duration) ITSTimeouts {
+	if t.REQ < floor {
+		t.REQ = floor
+	}
+	if t.ACK < floor {
+		t.ACK = floor
+	}
+	return t
+}
+
 // OverheadRow is one line of Table 1.
 type OverheadRow struct {
 	Coherence time.Duration

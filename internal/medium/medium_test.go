@@ -1,0 +1,234 @@
+package medium
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"copa/internal/mac"
+	"copa/internal/rng"
+)
+
+var (
+	stA = mac.Addr{0x02, 0, 0, 0, 0, 1}
+	stB = mac.Addr{0x02, 0, 0, 0, 0, 2}
+)
+
+func TestPerfectDeliversInOrder(t *testing.T) {
+	m := NewPerfect()
+	for i := byte(0); i < 3; i++ {
+		if err := m.Send(stA, stB, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 3; i++ {
+		got, err := m.Recv(stB, 0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, []byte{i}) {
+			t.Fatalf("recv %d: got %v", i, got)
+		}
+	}
+	if _, err := m.Recv(stB, time.Second); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("empty queue: err = %v", err)
+	}
+}
+
+func TestPerfectIsolatesDestinations(t *testing.T) {
+	m := NewPerfect()
+	m.Send(stA, stB, []byte("forB"))
+	if _, err := m.Recv(stA, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("frame for B delivered to A: %v", err)
+	}
+	if got, err := m.Recv(stB, 0); err != nil || string(got) != "forB" {
+		t.Fatalf("recv B: %q %v", got, err)
+	}
+}
+
+func TestPerfectVirtualDelay(t *testing.T) {
+	m := NewPerfect()
+	m.sendDelayed(stA, stB, []byte("late"), 5*time.Millisecond)
+	// A 2 ms wait is too short, but it advances the virtual clock…
+	if _, err := m.Recv(stB, 2*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("early recv: %v", err)
+	}
+	// …so the remaining delay is 3 ms and a 4 ms wait succeeds.
+	if got, err := m.Recv(stB, 4*time.Millisecond); err != nil || string(got) != "late" {
+		t.Fatalf("late recv: %q %v", got, err)
+	}
+}
+
+func TestPerfectClose(t *testing.T) {
+	m := NewPerfect()
+	m.Send(stA, stB, []byte("x"))
+	m.Close()
+	if err := m.Send(stA, stB, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, err := m.Recv(stB, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestFaultyZeroConfigIsTransparent(t *testing.T) {
+	f := NewFaulty(NewPerfect(), Config{}, rng.New(1))
+	frame := []byte{1, 2, 3}
+	for i := 0; i < 100; i++ {
+		if err := f.Send(stA, stB, frame); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Recv(stB, 0)
+		if err != nil || !bytes.Equal(got, frame) {
+			t.Fatalf("round %d: %v %v", i, got, err)
+		}
+	}
+	if s := f.Stats(); s.Dropped+s.Corrupted+s.Duplicated+s.Reordered != 0 {
+		t.Fatalf("impairments injected with zero config: %+v", s)
+	}
+}
+
+func TestFaultyTotalLoss(t *testing.T) {
+	f := NewFaulty(NewPerfect(), Config{Loss: 1}, rng.New(1))
+	for i := 0; i < 10; i++ {
+		f.Send(stA, stB, []byte{byte(i)})
+	}
+	if _, err := f.Recv(stB, time.Second); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("frame survived 100%% loss: %v", err)
+	}
+	if s := f.Stats(); s.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", s.Dropped)
+	}
+}
+
+func TestFaultyCorruptionKeepsLengthAndBreaksCRC(t *testing.T) {
+	f := NewFaulty(NewPerfect(), Config{Corrupt: 1}, rng.New(7))
+	orig := (&mac.ITSInit{Leader: stA, Client: stB, AirtimeUS: 4000}).Marshal()
+	f.Send(stA, stB, orig)
+	got, err := f.Recv(stB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("corruption changed length: %d vs %d", len(got), len(orig))
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("frame not corrupted despite Corrupt=1")
+	}
+	if _, err := mac.UnmarshalITSInit(got); err == nil {
+		t.Fatal("CRC accepted a corrupted frame")
+	}
+}
+
+func TestFaultyDuplication(t *testing.T) {
+	f := NewFaulty(NewPerfect(), Config{Duplicate: 1}, rng.New(3))
+	f.Send(stA, stB, []byte("dup"))
+	for i := 0; i < 2; i++ {
+		if got, err := f.Recv(stB, 0); err != nil || string(got) != "dup" {
+			t.Fatalf("copy %d: %q %v", i, got, err)
+		}
+	}
+}
+
+func TestFaultyReordering(t *testing.T) {
+	f := NewFaulty(NewPerfect(), Config{Reorder: 1}, rng.New(5))
+	f.Send(stA, stB, []byte("first")) // held back
+	f.Send(stA, stB, []byte("second"))
+	got1, err1 := f.Recv(stB, 0)
+	got2, err2 := f.Recv(stB, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(got1) != "second" || string(got2) != "first" {
+		t.Fatalf("order = %q, %q", got1, got2)
+	}
+	if s := f.Stats(); s.Reordered != 1 {
+		t.Fatalf("reordered = %d", s.Reordered)
+	}
+}
+
+func TestFaultyDeterminism(t *testing.T) {
+	run := func() Stats {
+		f := NewFaulty(NewPerfect(), Config{Loss: 0.3, Corrupt: 0.2, Duplicate: 0.1, Reorder: 0.1}, rng.New(42))
+		for i := 0; i < 500; i++ {
+			f.Send(stA, stB, []byte{byte(i), byte(i >> 8)})
+		}
+		return f.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different impairments: %+v vs %+v", a, b)
+	}
+	if a.Dropped == 0 || a.Corrupted == 0 {
+		t.Fatalf("impairments never fired: %+v", a)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	ma, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	mb, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+	if err := ma.AddPeer(stB, mb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.AddPeer(stA, ma.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := (&mac.ITSInit{Leader: stA, Client: stB, AirtimeUS: 4000}).Marshal()
+	if err := ma.Send(stA, stB, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mb.Recv(stB, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("UDP frame corrupted in transit")
+	}
+	// Reply path.
+	if err := mb.Send(stB, stA, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ma.Recv(stA, 2*time.Second); err != nil || string(got) != "ok" {
+		t.Fatalf("reply: %q %v", got, err)
+	}
+}
+
+func TestUDPRecvTimeoutAndFiltering(t *testing.T) {
+	ma, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	if _, err := ma.Recv(stA, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("timeout: %v", err)
+	}
+	if err := ma.Send(stA, mac.Addr{9, 9, 9, 9, 9, 9}, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer should fail")
+	}
+}
+
+func TestFaultyOverUDPDropsEverything(t *testing.T) {
+	inner, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	inner.AddPeer(stA, inner.LocalAddr())
+	f := NewFaulty(inner, Config{Loss: 1}, rng.New(1))
+	if err := f.Send(stB, stA, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(stA, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("frame survived forced loss over UDP: %v", err)
+	}
+}

@@ -1,0 +1,16 @@
+package medium
+
+import "copa/internal/obs"
+
+// Pre-resolved observability handles for the transport layer, mirroring
+// internal/core's handle-based pattern: resolved once at package init,
+// single atomic add on the per-frame path.
+var (
+	mFramesSent      = obs.C("copa.medium.frames_sent")
+	mFramesDelivered = obs.C("copa.medium.frames_delivered")
+	mFramesDropped   = obs.C("copa.medium.frames_dropped")
+	mFramesCorrupted = obs.C("copa.medium.frames_corrupted")
+	mFramesDuplicate = obs.C("copa.medium.frames_duplicated")
+	mFramesReordered = obs.C("copa.medium.frames_reordered")
+	mFramesDelayed   = obs.C("copa.medium.frames_delayed")
+)

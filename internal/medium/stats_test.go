@@ -1,0 +1,119 @@
+package medium
+
+import (
+	"math"
+	"testing"
+
+	"copa/internal/rng"
+)
+
+// The statistical regression gate: a Faulty medium must realize its
+// configured loss rate and Gilbert–Elliott burst-length distribution
+// within tolerance at fixed seeds. These are deterministic tests — a
+// failure means the loss process itself changed, not bad luck.
+
+func realizedLoss(t *testing.T, cfg Config, seed int64, frames int) Stats {
+	t.Helper()
+	f := NewFaulty(NewPerfect(), cfg, rng.New(seed))
+	for i := 0; i < frames; i++ {
+		if err := f.Send(stA, stB, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+		// Drain so the in-memory queue stays bounded.
+		f.Recv(stB, 0)
+	}
+	return f.Stats()
+}
+
+func TestFaultyIIDLossRate(t *testing.T) {
+	const frames = 50000
+	for _, tc := range []struct {
+		loss float64
+		seed int64
+	}{
+		{0.05, 1}, {0.10, 2}, {0.30, 3},
+	} {
+		st := realizedLoss(t, Config{Loss: tc.loss}, tc.seed, frames)
+		got := float64(st.Dropped) / float64(st.Sent)
+		// ±3σ for a Bernoulli(p) mean over `frames` trials.
+		tol := 3 * math.Sqrt(tc.loss*(1-tc.loss)/frames)
+		if math.Abs(got-tc.loss) > tol {
+			t.Errorf("loss %.2f seed %d: realized %.4f (tol %.4f)", tc.loss, tc.seed, got, tol)
+		}
+		// i.i.d. loss: mean burst length is 1/(1−p).
+		if st.LossBursts > 0 {
+			meanBurst := float64(st.Dropped) / float64(st.LossBursts)
+			want := 1 / (1 - tc.loss)
+			if math.Abs(meanBurst-want) > 0.15*want {
+				t.Errorf("loss %.2f: i.i.d. mean burst %.3f, want ≈%.3f", tc.loss, meanBurst, want)
+			}
+		}
+	}
+}
+
+func TestFaultyGilbertElliottLossAndBursts(t *testing.T) {
+	const frames = 60000
+	for _, tc := range []struct {
+		loss, burst float64
+		seed        int64
+	}{
+		{0.10, 4, 11}, {0.20, 8, 12}, {0.30, 3, 13},
+	} {
+		st := realizedLoss(t, Config{Loss: tc.loss, MeanBurst: tc.burst}, tc.seed, frames)
+		got := float64(st.Dropped) / float64(st.Sent)
+		// Bursty losses decorrelate slowly: widen the i.i.d. 3σ band by
+		// the burst length (an effective-sample-size argument).
+		tol := 3 * math.Sqrt(tc.loss*(1-tc.loss)/frames*2*tc.burst)
+		if math.Abs(got-tc.loss) > tol {
+			t.Errorf("GE loss %.2f burst %.0f seed %d: realized %.4f (tol %.4f)",
+				tc.loss, tc.burst, tc.seed, got, tol)
+		}
+		if st.LossBursts == 0 {
+			t.Fatalf("GE loss %.2f: no bursts recorded", tc.loss)
+		}
+		meanBurst := float64(st.Dropped) / float64(st.LossBursts)
+		if math.Abs(meanBurst-tc.burst) > 0.15*tc.burst {
+			t.Errorf("GE burst %.0f seed %d: realized mean burst %.2f", tc.burst, tc.seed, meanBurst)
+		}
+	}
+}
+
+// Gilbert–Elliott burst lengths are geometric with mean 1/r: check the
+// distribution's shape, not just its mean, by comparing the empirical
+// burst-length survival function at a few points.
+func TestFaultyGilbertElliottBurstDistribution(t *testing.T) {
+	const frames = 80000
+	cfg := Config{Loss: 0.2, MeanBurst: 5}
+	f := NewFaulty(NewPerfect(), cfg, rng.New(21))
+	var bursts []int
+	run := 0
+	for i := 0; i < frames; i++ {
+		f.Send(stA, stB, []byte{1})
+		if _, err := f.Recv(stB, 0); err != nil {
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts = append(bursts, run)
+			run = 0
+		}
+	}
+	if len(bursts) < 500 {
+		t.Fatalf("only %d bursts observed", len(bursts))
+	}
+	// P(burst ≥ k) = (1 − r)^(k−1) with r = 1/MeanBurst = 0.2.
+	r := 1 / cfg.MeanBurst
+	for _, k := range []int{2, 5, 10} {
+		cnt := 0
+		for _, b := range bursts {
+			if b >= k {
+				cnt++
+			}
+		}
+		got := float64(cnt) / float64(len(bursts))
+		want := math.Pow(1-r, float64(k-1))
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("P(burst ≥ %d) = %.3f, want ≈%.3f", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package medium
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"copa/internal/mac"
+)
+
+// udpHeaderBytes prefixes every datagram: destination then source MAC
+// address, so one socket can carry traffic for any station and Recv can
+// filter frames not addressed to the caller.
+const udpHeaderBytes = 12
+
+// maxDatagram bounds a received ITS frame; REQ frames carry two
+// compressed CSI payloads but stay far below this.
+const maxDatagram = 64 << 10
+
+// UDP is a Medium over real sockets: one datagram per ITS frame, one
+// socket per process. Unlike the simulated media its Recv blocks in real
+// time, and loss is whatever the network provides (wrap it in a Faulty
+// to force more).
+type UDP struct {
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	peers map[mac.Addr]*net.UDPAddr
+}
+
+// NewUDP opens a socket on listen ("127.0.0.1:0" picks a free port).
+func NewUDP(listen string) (*UDP, error) {
+	la, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("medium: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("medium: listen %q: %w", listen, err)
+	}
+	return &UDP{conn: conn, peers: make(map[mac.Addr]*net.UDPAddr)}, nil
+}
+
+// LocalAddr returns the bound host:port.
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer maps a station address to the host:port its process listens on.
+func (u *UDP) AddPeer(addr mac.Addr, hostport string) error {
+	ua, err := net.ResolveUDPAddr("udp", hostport)
+	if err != nil {
+		return fmt.Errorf("medium: resolve peer %q: %w", hostport, err)
+	}
+	u.mu.Lock()
+	u.peers[addr] = ua
+	u.mu.Unlock()
+	return nil
+}
+
+// Send transmits one datagram [dst | src | frame] to dst's socket.
+func (u *UDP) Send(src, dst mac.Addr, frame []byte) error {
+	u.mu.Lock()
+	peer, ok := u.peers[dst]
+	u.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("medium: no route to %v", dst)
+	}
+	buf := make([]byte, 0, udpHeaderBytes+len(frame))
+	buf = append(buf, dst[:]...)
+	buf = append(buf, src[:]...)
+	buf = append(buf, frame...)
+	if _, err := u.conn.WriteToUDP(buf, peer); err != nil {
+		return err
+	}
+	mFramesSent.Inc()
+	return nil
+}
+
+// Recv blocks up to timeout for a datagram addressed to dst, discarding
+// traffic for other stations and truncated headers.
+func (u *UDP) Recv(dst mac.Addr, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, maxDatagram)
+	for {
+		if err := u.conn.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		if n < udpHeaderBytes {
+			continue
+		}
+		var to mac.Addr
+		copy(to[:], buf[:6])
+		if to != dst {
+			continue
+		}
+		mFramesDelivered.Inc()
+		return append([]byte(nil), buf[udpHeaderBytes:n]...), nil
+	}
+}
+
+// Close shuts the socket down; a blocked Recv returns with an error.
+func (u *UDP) Close() error { return u.conn.Close() }

@@ -1,0 +1,91 @@
+package testbed
+
+import (
+	"testing"
+
+	"copa/internal/channel"
+)
+
+// TestLossSweepGracefulDegradation is the tentpole acceptance check: as
+// control-frame loss rises the realized aggregate may fall toward, but
+// must not crater below, the plain-CSMA floor — no cliff. At 100% loss
+// the pipeline must realize exactly the CSMA baseline (every exchange
+// falls back), and at 0% it must be retry-free.
+func TestLossSweepGracefulDegradation(t *testing.T) {
+	cfg := LossSweepConfig{
+		Seed:        3,
+		Topologies:  4,
+		LossRates:   []float64{0, 0.10, 1.0},
+		MeanBurst:   1,
+		Rounds:      4,
+		Impairments: channel.DefaultImpairments(),
+	}
+	sweep, err := RunLossSweep(channel.Scenario4x2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	clean, moderate, dead := sweep.Points[0], sweep.Points[1], sweep.Points[2]
+
+	// Zero loss: no transport events at all.
+	if clean.FallbackRate != 0 || clean.RetriesPerExchange != 0 {
+		t.Errorf("lossless sweep had fallbacks=%.2f retries=%.2f", clean.FallbackRate, clean.RetriesPerExchange)
+	}
+	// Total loss: every exchange falls back, and the realized throughput
+	// IS the CSMA baseline.
+	if dead.FallbackRate != 1 {
+		t.Errorf("fallback rate at 100%% loss = %.2f, want 1", dead.FallbackRate)
+	}
+	// (0.5% slack: the baseline is captured at the first round's CSI
+	// estimate while the realized mean spans every round's estimation
+	// noise.)
+	for tp := range dead.PerTopologyBps {
+		got, want := dead.PerTopologyBps[tp], sweep.CSMABps[tp]
+		if rel := (got - want) / want; rel < -5e-3 || rel > 5e-3 {
+			t.Errorf("topology %d at 100%% loss: %.3e, want CSMA %.3e", tp, got, want)
+		}
+	}
+
+	// Moderate loss: graceful degradation per topology — never below
+	// both the CSMA floor and the lossless ceiling (5% slack for the
+	// occasional unlucky retry draw).
+	for tp := range moderate.PerTopologyBps {
+		floor := sweep.CSMABps[tp]
+		if c := clean.PerTopologyBps[tp]; c < floor {
+			floor = c
+		}
+		if moderate.PerTopologyBps[tp] < floor*0.95 {
+			t.Errorf("topology %d cratered at 10%% loss: %.3e < floor %.3e",
+				tp, moderate.PerTopologyBps[tp], floor)
+		}
+	}
+	// And the mean stays at or above the CSMA baseline.
+	if moderate.AggregateBps < sweep.MeanCSMABps() {
+		t.Errorf("mean aggregate at 10%% loss %.3e < CSMA %.3e", moderate.AggregateBps, sweep.MeanCSMABps())
+	}
+	t.Logf("agg: clean %.1f Mb/s, 10%% loss %.1f, dead %.1f, CSMA %.1f; retries@10%%=%.2f",
+		clean.AggregateBps/1e6, moderate.AggregateBps/1e6, dead.AggregateBps/1e6,
+		sweep.MeanCSMABps()/1e6, moderate.RetriesPerExchange)
+}
+
+// TestLossSweepBurstyExport covers the Gilbert–Elliott configuration and
+// the CSV export path.
+func TestLossSweepBurstyExport(t *testing.T) {
+	cfg := LossSweepConfig{
+		Seed:        5,
+		Topologies:  2,
+		LossRates:   []float64{0.2},
+		MeanBurst:   4,
+		Rounds:      3,
+		Impairments: channel.DefaultImpairments(),
+	}
+	sweep, err := RunLossSweep(channel.Scenario1x1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.ExportCSV(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
