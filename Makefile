@@ -4,8 +4,13 @@
 
 GO ?= go
 FUZZTIME ?= 30s
+# Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
+# benchtime keeps allocs/op deterministic run to run.
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9
+BENCH_COUNT ?= 3
+BENCH_TIME ?= 5x
 
-.PHONY: all build test race vet bench bench-obs fuzz clean
+.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz clean
 
 all: build test
 
@@ -26,9 +31,26 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-obs compares the instrumented hot path against obs.Disabled().
+# bench-obs compares the instrumented hot path against obs.Disabled()
+# (the Instrumented/Disabled benchmark pairs in obs_bench_test.go).
 bench-obs:
-	$(GO) test -run XXX -bench 'EquiSNR|EvaluateAll' -benchmem -count=3 .
+	$(GO) test -run XXX -bench '(EquiSNR|EvaluateAll)(Instrumented|Disabled)' -benchmem -count=$(BENCH_COUNT) .
+
+# bench-json runs the canonical benchmark subset and writes BENCH.json
+# (machine-readable ns/op, B/op, allocs/op + host metadata).
+bench-json:
+	$(GO) run ./cmd/copabench -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -out BENCH.json
+
+# bench-check is the CI perf gate: rerun the subset and fail on any
+# allocs/op increase (exact) or B/op increase beyond 10% vs the
+# checked-in baseline. Time is advisory only.
+bench-check:
+	$(GO) run ./cmd/copabench -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -out BENCH.json -check -baseline BENCH_baseline.json
+
+# bench-baseline refreshes the checked-in baseline after an intentional
+# perf change; commit the result.
+bench-baseline:
+	$(GO) run ./cmd/copabench -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -out BENCH_baseline.json
 
 # fuzz campaigns the wire-format parsers (go test accepts one -fuzz
 # target per invocation, hence the sequence). FUZZTIME=2m make fuzz for

@@ -1,0 +1,121 @@
+// Command copabench runs the repository's canonical benchmarks with
+// -benchmem and emits a machine-readable BENCH.json (ns/op, B/op,
+// allocs/op per benchmark plus host metadata). With -check it compares
+// the run against a checked-in baseline and exits non-zero on
+// regression, which is how CI gates allocation regressions:
+//
+//	go run ./cmd/copabench -out BENCH.json
+//	go run ./cmd/copabench -check -baseline BENCH_baseline.json
+//
+// Benchmarks run with a fixed iteration count (-benchtime 5x by
+// default) so allocs/op is deterministic: one-time warm-up costs (arena
+// growth, DFT plan construction) amortize identically run to run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+)
+
+func main() {
+	var (
+		pattern   = flag.String("bench", "EquiSNR|EvaluateAll|Figure9", "benchmark regexp passed to go test -bench")
+		count     = flag.Int("count", 3, "samples per benchmark (best is kept)")
+		benchtime = flag.String("benchtime", "5x", "go test -benchtime value; Nx keeps allocs/op deterministic")
+		pkg       = flag.String("pkg", ".", "package containing the benchmarks")
+		out       = flag.String("out", "BENCH.json", "output JSON path ('' to skip writing)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path for -check")
+		check     = flag.Bool("check", false, "compare against -baseline and exit 1 on regression")
+		tolBytes  = flag.Float64("tol-bytes", 0.10, "allowed relative B/op increase over baseline")
+	)
+	flag.Parse()
+
+	raw, err := runBenchmarks(*pkg, *pattern, *benchtime, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copabench: %v\n", err)
+		os.Exit(2)
+	}
+	report := buildReport(parseBenchOutput(raw))
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "copabench: no benchmarks matched %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "copabench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "copabench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	}
+	for _, b := range report.Benchmarks {
+		fmt.Printf("  %-32s %14.0f ns/op %12d B/op %9d allocs/op\n", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	if *check {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "copabench: reading baseline: %v\n", err)
+			os.Exit(2)
+		}
+		regressions := compare(base, report, *tolBytes)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "copabench: %d regression(s) vs %s\n", len(regressions), *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s\n", *baseline)
+	}
+}
+
+func runBenchmarks(pkg, pattern, benchtime string, count int) ([]byte, error) {
+	args := []string{
+		"test", "-run", "XXX",
+		"-bench", pattern,
+		"-benchmem",
+		"-benchtime", benchtime,
+		"-count", fmt.Sprint(count),
+		pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return out, fmt.Errorf("go %v: %w", args, err)
+	}
+	return out, nil
+}
+
+func hostMeta() Host {
+	hostname, _ := os.Hostname()
+	return Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Hostname:  hostname,
+	}
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Host records where a benchmark report was produced; regressions are
+// only meaningful between runs on comparable hosts, and the bytes/allocs
+// gates additionally assume the same architecture.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// Benchmark is one benchmark's best observed sample.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Report is the BENCH.json schema.
+type Report struct {
+	Host       Host        `json:"host"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkEquiSNRDisabled-8   3   1606446 ns/op   4096 B/op   7 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so reports are comparable across
+// machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// parseBenchOutput extracts every benchmark sample from go test output.
+func parseBenchOutput(out []byte) []Benchmark {
+	var samples []Benchmark
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bytes, _ := strconv.ParseInt(m[4], 10, 64)
+		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		samples = append(samples, Benchmark{
+			Name:        m[1],
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytes,
+			AllocsPerOp: allocs,
+			Samples:     1,
+		})
+	}
+	return samples
+}
+
+// buildReport folds repeated samples of the same benchmark into its best
+// (minimum) observation — the standard way to reduce scheduler noise —
+// and attaches host metadata.
+func buildReport(samples []Benchmark) Report {
+	best := make(map[string]Benchmark)
+	for _, s := range samples {
+		b, ok := best[s.Name]
+		if !ok {
+			best[s.Name] = s
+			continue
+		}
+		if s.NsPerOp < b.NsPerOp {
+			b.NsPerOp = s.NsPerOp
+			b.Iterations = s.Iterations
+		}
+		if s.BytesPerOp < b.BytesPerOp {
+			b.BytesPerOp = s.BytesPerOp
+		}
+		if s.AllocsPerOp < b.AllocsPerOp {
+			b.AllocsPerOp = s.AllocsPerOp
+		}
+		b.Samples++
+		best[s.Name] = b
+	}
+	names := make([]string, 0, len(best))
+	for n := range best {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r := Report{Host: hostMeta()}
+	for _, n := range names {
+		r.Benchmarks = append(r.Benchmarks, best[n])
+	}
+	return r
+}
+
+// compare gates cur against base: allocs/op must not exceed the baseline
+// at all (allocation counts are deterministic with fixed -benchtime Nx),
+// B/op may grow by at most tolBytes relative, and ns/op is advisory only
+// (CI machines are too noisy to gate on time). A benchmark present in
+// the baseline but missing from the current run is a failure — a renamed
+// or deleted benchmark must come with a baseline update.
+func compare(base, cur Report, tolBytes float64) []string {
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run (baseline has it)", b.Name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %d > baseline %d", b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+		limit := float64(b.BytesPerOp) * (1 + tolBytes)
+		if float64(c.BytesPerOp) > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: B/op %d > baseline %d (+%.0f%% tolerance = %.0f)",
+				b.Name, c.BytesPerOp, b.BytesPerOp, tolBytes*100, limit))
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 2*b.NsPerOp {
+			// Time is never a gate: surface a note instead of failing.
+			fmt.Printf("note: %s ns/op %.0f is >2x baseline %.0f (advisory only)\n",
+				b.Name, c.NsPerOp, b.NsPerOp)
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: copa
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEquiSNRDisabled-8     	       5	   1606446 ns/op	    4096 B/op	       7 allocs/op
+BenchmarkEquiSNRDisabled-8     	       5	   1590000 ns/op	    4096 B/op	       7 allocs/op
+BenchmarkEvaluateAllDisabled-8 	       5	 166976291 ns/op	 1220472 B/op	    3921 allocs/op
+PASS
+ok  	copa	0.679s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples := parseBenchOutput([]byte(sampleOutput))
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(samples))
+	}
+	s := samples[0]
+	if s.Name != "BenchmarkEquiSNRDisabled" {
+		t.Errorf("name %q: GOMAXPROCS suffix not stripped", s.Name)
+	}
+	if s.Iterations != 5 || s.NsPerOp != 1606446 || s.BytesPerOp != 4096 || s.AllocsPerOp != 7 {
+		t.Errorf("sample fields wrong: %+v", s)
+	}
+}
+
+func TestBuildReportKeepsBest(t *testing.T) {
+	r := buildReport(parseBenchOutput([]byte(sampleOutput)))
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 after folding", len(r.Benchmarks))
+	}
+	// Sorted by name: EquiSNR first.
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkEquiSNRDisabled" || b.NsPerOp != 1590000 || b.Samples != 2 {
+		t.Errorf("best-folding wrong: %+v", b)
+	}
+	if r.Host.GoVersion == "" || r.Host.GOARCH == "" {
+		t.Error("host metadata missing")
+	}
+}
+
+func mkReport(name string, ns float64, bytes, allocs int64) Report {
+	return Report{Benchmarks: []Benchmark{{
+		Name: name, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs,
+	}}}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := mkReport("BenchmarkX", 1000, 1000, 10)
+
+	if regs := compare(base, mkReport("BenchmarkX", 1000, 1000, 10), 0.10); len(regs) != 0 {
+		t.Errorf("identical run flagged: %v", regs)
+	}
+	// Allocations are gated exactly.
+	if regs := compare(base, mkReport("BenchmarkX", 1000, 1000, 11), 0.10); len(regs) != 1 ||
+		!strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("alloc regression not caught: %v", regs)
+	}
+	// Fewer allocations is an improvement, not a regression.
+	if regs := compare(base, mkReport("BenchmarkX", 1000, 1000, 5), 0.10); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+	// Bytes get a relative tolerance.
+	if regs := compare(base, mkReport("BenchmarkX", 1000, 1099, 10), 0.10); len(regs) != 0 {
+		t.Errorf("within-tolerance bytes flagged: %v", regs)
+	}
+	if regs := compare(base, mkReport("BenchmarkX", 1000, 1200, 10), 0.10); len(regs) != 1 ||
+		!strings.Contains(regs[0], "B/op") {
+		t.Errorf("bytes regression not caught: %v", regs)
+	}
+	// Time is advisory: a 10x slowdown alone must not fail the gate.
+	if regs := compare(base, mkReport("BenchmarkX", 10000, 1000, 10), 0.10); len(regs) != 0 {
+		t.Errorf("time-only change flagged: %v", regs)
+	}
+	// A benchmark disappearing from the run is a failure.
+	if regs := compare(base, mkReport("BenchmarkY", 1000, 1000, 10), 0.10); len(regs) != 1 ||
+		!strings.Contains(regs[0], "missing") {
+		t.Errorf("missing benchmark not caught: %v", regs)
+	}
+}

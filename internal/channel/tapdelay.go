@@ -3,6 +3,7 @@ package channel
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"copa/internal/linalg"
 	"copa/internal/ofdm"
@@ -53,6 +54,44 @@ type Link struct {
 	// link (linear, per TX–RX antenna pair), i.e. the path-loss scale
 	// the taps were drawn with.
 	MeanGainLinear float64
+
+	// plan is the cached DFT twiddle plan for this link's tap count,
+	// fetched lazily on the first frequency-response computation.
+	plan *dftPlan
+}
+
+// dftPlan holds the precomputed DFT twiddle factors for one tap count:
+// w[k*taps+tap] = e^{-2πi·bin(k)·tap/64}. Plans are immutable and shared
+// process-wide; every link with the same tap count reuses one plan.
+type dftPlan struct {
+	taps int
+	w    []complex128
+}
+
+var (
+	dftPlanMu sync.Mutex
+	dftPlans  map[int]*dftPlan
+)
+
+// dftPlanFor returns the (possibly cached) twiddle plan for a tap count.
+func dftPlanFor(taps int) *dftPlan {
+	dftPlanMu.Lock()
+	defer dftPlanMu.Unlock()
+	if p, ok := dftPlans[taps]; ok {
+		return p
+	}
+	p := &dftPlan{taps: taps, w: make([]complex128, ofdm.NumSubcarriers*taps)}
+	for k := 0; k < ofdm.NumSubcarriers; k++ {
+		bin := dataSubcarrierBin(k)
+		for tap := 0; tap < taps; tap++ {
+			p.w[k*taps+tap] = cmplx.Exp(complex(0, -2*math.Pi*float64(bin)*float64(tap)/ofdm.FFTSize))
+		}
+	}
+	if dftPlans == nil {
+		dftPlans = make(map[int]*dftPlan)
+	}
+	dftPlans[taps] = p
+	return p
 }
 
 // NRx returns the number of receive antennas.
@@ -113,20 +152,39 @@ func NewLink(src *rng.Source, nRx, nTx int, gainLinear float64) *Link {
 
 // recomputeFrequencyResponse rebuilds the per-subcarrier matrices from the
 // time-domain taps via the DFT over the 64-point FFT grid, evaluated at
-// the data subcarrier bins.
+// the data subcarrier bins. Existing subcarrier matrices are reused.
 func (l *Link) recomputeFrequencyResponse() {
-	nRx, nTx := l.Taps[0].Rows, l.Taps[0].Cols
-	l.Subcarriers = make([]*linalg.Matrix, ofdm.NumSubcarriers)
+	if len(l.Subcarriers) != ofdm.NumSubcarriers {
+		l.Subcarriers = make([]*linalg.Matrix, ofdm.NumSubcarriers)
+	}
 	for k := 0; k < ofdm.NumSubcarriers; k++ {
-		bin := dataSubcarrierBin(k)
-		h := linalg.NewMatrix(nRx, nTx)
-		for tap := 0; tap < NumTaps; tap++ {
-			w := cmplx.Exp(complex(0, -2*math.Pi*float64(bin)*float64(tap)/ofdm.FFTSize))
-			for i, v := range l.Taps[tap].Data {
-				h.Data[i] += v * w
-			}
-		}
+		l.RecomputeSubcarrier(k)
+	}
+}
+
+// RecomputeSubcarrier rebuilds the frequency response of data subcarrier k
+// from the time-domain taps using the cached twiddle plan, reusing the
+// existing matrix storage when shapes match: allocation-free in steady
+// state (e.g. when re-evaluating an evolved channel).
+func (l *Link) RecomputeSubcarrier(k int) {
+	nRx, nTx := l.Taps[0].Rows, l.Taps[0].Cols
+	plan := l.plan
+	if plan == nil || plan.taps != len(l.Taps) {
+		plan = dftPlanFor(len(l.Taps))
+		l.plan = plan
+	}
+	h := l.Subcarriers[k]
+	if h == nil || h.Rows != nRx || h.Cols != nTx {
+		h = linalg.NewMatrix(nRx, nTx)
 		l.Subcarriers[k] = h
+	} else {
+		clear(h.Data)
+	}
+	for tap := range l.Taps {
+		w := plan.w[k*plan.taps+tap]
+		for i, v := range l.Taps[tap].Data {
+			h.Data[i] += v * w
+		}
 	}
 }
 

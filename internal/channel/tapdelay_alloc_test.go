@@ -1,0 +1,43 @@
+package channel
+
+import (
+	"testing"
+
+	"copa/internal/rng"
+)
+
+// TestRecomputeSubcarrierAllocBudget pins the tap-DFT refresh at zero
+// steady-state allocations: the twiddle plan is cached by tap count and
+// the frequency-response matrix storage is reused in place.
+func TestRecomputeSubcarrierAllocBudget(t *testing.T) {
+	l := NewLink(rng.New(9), 2, 4, DBToLinear(-55))
+	for k := range l.Subcarriers {
+		l.RecomputeSubcarrier(k) // warm the plan cache
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for k := range l.Subcarriers {
+			l.RecomputeSubcarrier(k)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RecomputeSubcarrier: %v allocs/run in steady state, want 0", allocs)
+	}
+}
+
+// TestRecomputeSubcarrierMatchesInitial checks a recompute reproduces the
+// link's original frequency response exactly when the taps are unchanged.
+func TestRecomputeSubcarrierMatchesInitial(t *testing.T) {
+	l := NewLink(rng.New(10), 2, 4, DBToLinear(-55))
+	want := make([][]complex128, len(l.Subcarriers))
+	for k, h := range l.Subcarriers {
+		want[k] = append([]complex128(nil), h.Data...)
+	}
+	for k := range l.Subcarriers {
+		l.RecomputeSubcarrier(k)
+		for i, v := range l.Subcarriers[k].Data {
+			if v != want[k][i] {
+				t.Fatalf("sc %d elem %d drifted: %v != %v", k, i, v, want[k][i])
+			}
+		}
+	}
+}

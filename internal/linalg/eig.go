@@ -3,7 +3,6 @@ package linalg
 import (
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // EigHermitian computes the eigendecomposition of a Hermitian matrix
@@ -12,26 +11,39 @@ import (
 // matrices (receive covariance, interference-plus-noise) are the intended
 // inputs; behaviour on non-Hermitian matrices is undefined.
 func (m *Matrix) EigHermitian() (eigs []float64, v *Matrix) {
+	var ws Workspace
+	e, vv := m.EigHermitianWS(&ws)
+	return append([]float64(nil), e...), vv.Clone()
+}
+
+// offDiagAbsSum is the Jacobi convergence functional: the sum of
+// off-diagonal element magnitudes of a.
+func offDiagAbsSum(a *Matrix) float64 {
+	n := a.Rows
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += cmplx.Abs(a.At(i, j))
+			}
+		}
+	}
+	return s
+}
+
+// EigHermitianWS is EigHermitian with all scratch and result storage carved
+// from ws: allocation-free once ws has warmed up. The returned slice and
+// matrix live in ws (see Workspace ownership rules).
+func (m *Matrix) EigHermitianWS(ws *Workspace) (eigs []float64, v *Matrix) {
 	n := m.Rows
 	if m.Cols != n {
 		panic("linalg: EigHermitian requires a square matrix")
 	}
-	a := m.Clone()
-	v = Identity(n)
+	a := ws.Clone(m)
+	v = ws.Identity(n)
 
-	off := func() float64 {
-		var s float64
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i != j {
-					s += cmplx.Abs(a.At(i, j))
-				}
-			}
-		}
-		return s
-	}
 	scale := math.Max(m.MaxAbs(), 1e-300)
-	for sweep := 0; sweep < 64 && off() > 1e-13*scale*float64(n*n); sweep++ {
+	for sweep := 0; sweep < 64 && offDiagAbsSum(a) > 1e-13*scale*float64(n*n); sweep++ {
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := a.At(p, q)
@@ -73,16 +85,16 @@ func (m *Matrix) EigHermitian() (eigs []float64, v *Matrix) {
 		}
 	}
 
-	eigs = make([]float64, n)
-	order := make([]int, n)
-	for i := range eigs {
-		eigs[i] = real(a.At(i, i))
+	diag := ws.Float64s(n)
+	order := ws.Ints(n)
+	for i := range diag {
+		diag[i] = real(a.At(i, i))
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool { return eigs[order[i]] > eigs[order[j]] })
-	sorted := make([]float64, n)
+	SortOrderDesc(order, diag)
+	sorted := ws.Float64s(n)
 	for i, idx := range order {
-		sorted[i] = eigs[idx]
+		sorted[i] = diag[idx]
 	}
-	return sorted, v.ColsSlice(order...)
+	return sorted, ws.ColsSlice(v, order)
 }

@@ -83,10 +83,17 @@ func (m *Matrix) Equal(b *Matrix, tol float64) bool {
 
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, b.Cols)
+	mulInto(out, m, b)
+	return out
+}
+
+// mulInto accumulates m·b into out, which must be zeroed and of shape
+// m.Rows×b.Cols.
+func mulInto(out, m, b *Matrix) {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(m.Rows, b.Cols)
 	for r := 0; r < m.Rows; r++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.Data[r*m.Cols+k]
@@ -98,7 +105,6 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MulVec returns the matrix-vector product m·v.
@@ -120,12 +126,17 @@ func (m *Matrix) MulVec(v []complex128) []complex128 {
 // H returns the Hermitian (conjugate) transpose of m.
 func (m *Matrix) H() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
+	hInto(out, m)
+	return out
+}
+
+// hInto writes the Hermitian transpose of m into out (shape m.Cols×m.Rows).
+func hInto(out, m *Matrix) {
 	for r := 0; r < m.Rows; r++ {
 		for c := 0; c < m.Cols; c++ {
 			out.Data[c*m.Rows+r] = cmplx.Conj(m.Data[r*m.Cols+c])
 		}
 	}
-	return out
 }
 
 // T returns the (non-conjugating) transpose of m.
@@ -202,12 +213,18 @@ func (m *Matrix) SetCol(c int, v []complex128) {
 // in order.
 func (m *Matrix) ColsSlice(idx ...int) *Matrix {
 	out := NewMatrix(m.Rows, len(idx))
+	colsSliceInto(out, m, idx)
+	return out
+}
+
+// colsSliceInto writes the selected columns of m into out
+// (shape m.Rows×len(idx)).
+func colsSliceInto(out, m *Matrix, idx []int) {
 	for j, c := range idx {
 		for r := 0; r < m.Rows; r++ {
 			out.Data[r*out.Cols+j] = m.Data[r*m.Cols+c]
 		}
 	}
-	return out
 }
 
 // RowsSlice returns a new matrix formed from the given row indices of m,

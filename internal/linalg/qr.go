@@ -11,9 +11,19 @@ import (
 // cross-check the Jacobi SVD (rank and nullspace agreement) and a cheaper
 // route to orthonormal bases.
 func (m *Matrix) QR() (q, r *Matrix) {
+	var ws Workspace
+	qw, rw := m.QRWS(&ws)
+	return qw.Clone(), rw.Clone()
+}
+
+// QRWS is QR with all scratch and result storage carved from ws:
+// allocation-free once ws has warmed up. The returned matrices live in ws
+// (see Workspace ownership rules).
+func (m *Matrix) QRWS(ws *Workspace) (q, r *Matrix) {
 	rows, cols := m.Rows, m.Cols
-	r = m.Clone()
-	q = Identity(rows)
+	r = ws.Clone(m)
+	q = ws.Identity(rows)
+	vbuf := ws.Complex(rows)
 
 	steps := cols
 	if rows-1 < steps {
@@ -40,7 +50,7 @@ func (m *Matrix) QR() (q, r *Matrix) {
 		alpha := -phase * complex(norm, 0)
 
 		// v = x − αe₁, normalized.
-		v := make([]complex128, rows-k)
+		v := vbuf[:rows-k]
 		v[0] = pivot - alpha
 		for i := k + 1; i < rows; i++ {
 			v[i-k] = r.At(i, k)
@@ -76,7 +86,7 @@ func (m *Matrix) QR() (q, r *Matrix) {
 		}
 	}
 	// We accumulated Hₙ…H₁ into q, i.e. q = Qᴴ; return Q.
-	q = q.H()
+	q = ws.H(q)
 	// Clean numerical dust below the diagonal of R.
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols && j < i; j++ {

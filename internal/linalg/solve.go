@@ -10,15 +10,22 @@ import (
 // and cannot be inverted or solved against.
 var ErrSingular = errors.New("linalg: matrix is singular")
 
-// lu performs an in-place LU decomposition with partial pivoting on a copy
-// of m, returning the combined LU factors and the row permutation.
-func lu(m *Matrix) (*Matrix, []int, error) {
+// errNotSquare is shared by the LU-based entry points so the error path
+// stays allocation-free.
+var errNotSquare = errors.New("linalg: LU requires a square matrix")
+
+// errSolveDim is the Solve dimension-mismatch error.
+var errSolveDim = errors.New("linalg: Solve dimension mismatch")
+
+// luWS performs an LU decomposition with partial pivoting on a ws-carved
+// copy of m, returning the combined LU factors and the row permutation.
+func luWS(ws *Workspace, m *Matrix) (*Matrix, []int, error) {
 	if m.Rows != m.Cols {
-		return nil, nil, errors.New("linalg: LU requires a square matrix")
+		return nil, nil, errNotSquare
 	}
 	n := m.Rows
-	a := m.Clone()
-	perm := make([]int, n)
+	a := ws.Clone(m)
+	perm := ws.Ints(n)
 	for i := range perm {
 		perm[i] = i
 	}
@@ -53,15 +60,27 @@ func lu(m *Matrix) (*Matrix, []int, error) {
 
 // Solve returns x such that m·x = b, for square m.
 func (m *Matrix) Solve(b []complex128) ([]complex128, error) {
-	if m.Rows != len(b) {
-		return nil, errors.New("linalg: Solve dimension mismatch")
+	var ws Workspace
+	x, err := m.SolveWS(&ws, b)
+	if err != nil {
+		return nil, err
 	}
-	f, perm, err := lu(m)
+	return append([]complex128(nil), x...), nil
+}
+
+// SolveWS is Solve with all scratch and result storage carved from ws:
+// allocation-free once ws has warmed up. The returned slice lives in ws
+// (see Workspace ownership rules).
+func (m *Matrix) SolveWS(ws *Workspace, b []complex128) ([]complex128, error) {
+	if m.Rows != len(b) {
+		return nil, errSolveDim
+	}
+	f, perm, err := luWS(ws, m)
 	if err != nil {
 		return nil, err
 	}
 	n := m.Rows
-	x := make([]complex128, n)
+	x := ws.Complex(n)
 	// Forward substitution with permuted b (L has unit diagonal).
 	for i := 0; i < n; i++ {
 		s := b[perm[i]]
@@ -87,7 +106,8 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 		return nil, errors.New("linalg: Inverse requires a square matrix")
 	}
 	n := m.Rows
-	f, perm, err := lu(m)
+	var ws Workspace
+	f, perm, err := luWS(&ws, m)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +169,8 @@ func (m *Matrix) Cholesky() (*Matrix, error) {
 // PseudoInverse returns the Moore–Penrose pseudo-inverse of m, computed via
 // the SVD, discarding singular values below tol relative to the largest.
 func (m *Matrix) PseudoInverse(tol float64) *Matrix {
-	u, s, v := m.SVD()
+	var ws Workspace
+	u, s, v := m.SVDWS(&ws)
 	// pinv = V · Σ⁺ · Uᴴ
 	var smax float64
 	for _, sv := range s {
@@ -157,11 +178,11 @@ func (m *Matrix) PseudoInverse(tol float64) *Matrix {
 			smax = sv
 		}
 	}
-	sinv := NewMatrix(m.Cols, m.Rows) // Σ⁺ has the transposed shape of Σ
+	sinv := ws.Matrix(m.Cols, m.Rows) // Σ⁺ has the transposed shape of Σ
 	for i, sv := range s {
 		if smax > 0 && sv > tol*smax {
 			sinv.Set(i, i, complex(1/sv, 0))
 		}
 	}
-	return v.Mul(sinv).Mul(u.H())
+	return ws.Mul(ws.Mul(v, sinv), ws.H(u)).Clone()
 }

@@ -3,7 +3,6 @@ package linalg
 import (
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // svdEps is the relative off-diagonal tolerance at which the one-sided
@@ -23,9 +22,18 @@ const svdMaxSweeps = 64
 // U is Rows×Rows unitary, V is Cols×Cols unitary, and s holds the
 // min(Rows, Cols) singular values in descending order.
 func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
+	var ws Workspace
+	uw, sw, vw := m.SVDWS(&ws)
+	return uw.Clone(), append([]float64(nil), sw...), vw.Clone()
+}
+
+// SVDWS is SVD with all scratch and result storage carved from ws:
+// allocation-free once ws has warmed up. The returned matrices and slice
+// live in ws (see Workspace ownership rules).
+func (m *Matrix) SVDWS(ws *Workspace) (u *Matrix, s []float64, v *Matrix) {
 	rows, cols := m.Rows, m.Cols
-	b := m.Clone() // working copy whose columns are orthogonalized in place
-	v = Identity(cols)
+	b := ws.Clone(m) // working copy whose columns are orthogonalized in place
+	v = ws.Identity(cols)
 
 	// Columns whose norm falls below this floor (relative to ‖A‖_F) are
 	// numerically zero: rotating them against each other only churns
@@ -86,7 +94,7 @@ func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
 	}
 
 	// Column norms are the singular values; sort descending.
-	norms := make([]float64, cols)
+	norms := ws.Float64s(cols)
 	for c := 0; c < cols; c++ {
 		var nn float64
 		for r := 0; r < rows; r++ {
@@ -95,15 +103,15 @@ func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
 		}
 		norms[c] = math.Sqrt(nn)
 	}
-	order := make([]int, cols)
+	order := ws.Ints(cols)
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool { return norms[order[i]] > norms[order[j]] })
+	SortOrderDesc(order, norms)
 
-	bs := b.ColsSlice(order...)
-	v = v.ColsSlice(order...)
-	sorted := make([]float64, cols)
+	bs := ws.ColsSlice(b, order)
+	v = ws.ColsSlice(v, order)
+	sorted := ws.Float64s(cols)
 	for i, idx := range order {
 		sorted[i] = norms[idx]
 	}
@@ -116,7 +124,7 @@ func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
 
 	// Build U: normalized non-degenerate columns of the rotated matrix,
 	// completed to a full orthonormal basis of C^rows.
-	u = NewMatrix(rows, rows)
+	u = ws.Matrix(rows, rows)
 	smax := 0.0
 	if cols > 0 {
 		smax = sorted[0]
@@ -130,27 +138,29 @@ func (m *Matrix) SVD() (u *Matrix, s []float64, v *Matrix) {
 			col++
 		}
 	}
-	completeBasis(u, col)
+	completeBasis(ws, u, col)
 	return u, s, v
 }
 
 // completeBasis fills columns [have, n) of the n×n matrix u with an
 // orthonormal completion of its first `have` (already orthonormal) columns,
-// using Gram–Schmidt against the canonical basis.
-func completeBasis(u *Matrix, have int) {
+// using Gram–Schmidt against the canonical basis. Scratch comes from ws.
+func completeBasis(ws *Workspace, u *Matrix, have int) {
 	n := u.Rows
 	for col := have; col < n; col++ {
 		for try := 0; try < n; try++ {
-			cand := make([]complex128, n)
+			cand := ws.Complex(n)
 			cand[try] = 1
 			// Orthogonalize against all existing columns (twice, for
 			// numerical hygiene).
 			for pass := 0; pass < 2; pass++ {
 				for c := 0; c < col; c++ {
-					uc := u.Col(c)
-					proj := Dot(uc, cand)
+					var proj complex128
 					for r := 0; r < n; r++ {
-						cand[r] -= proj * uc[r]
+						proj += cmplx.Conj(u.Data[r*n+c]) * cand[r]
+					}
+					for r := 0; r < n; r++ {
+						cand[r] -= proj * u.Data[r*n+c]
 					}
 				}
 			}
@@ -168,7 +178,8 @@ func completeBasis(u *Matrix, have int) {
 // Rank returns the numerical rank of m: the number of singular values
 // exceeding tol relative to the largest singular value.
 func (m *Matrix) Rank(tol float64) int {
-	_, s, _ := m.SVD()
+	var ws Workspace
+	_, s, _ := m.SVDWS(&ws)
 	if len(s) == 0 || s[0] == 0 {
 		return 0
 	}
@@ -186,7 +197,14 @@ func (m *Matrix) Rank(tol float64) int {
 // below tol relative to the largest are treated as zero. The returned
 // matrix has zero columns when m has full column rank.
 func (m *Matrix) Nullspace(tol float64) *Matrix {
-	_, s, v := m.SVD()
+	var ws Workspace
+	return m.NullspaceWS(&ws, tol).Clone()
+}
+
+// NullspaceWS is Nullspace with all storage carved from ws. The returned
+// matrix lives in ws (see Workspace ownership rules).
+func (m *Matrix) NullspaceWS(ws *Workspace, tol float64) *Matrix {
+	_, s, v := m.SVDWS(ws)
 	smax := 0.0
 	if len(s) > 0 {
 		smax = s[0]
@@ -197,9 +215,9 @@ func (m *Matrix) Nullspace(tol float64) *Matrix {
 			rank++
 		}
 	}
-	idx := make([]int, 0, m.Cols-rank)
+	idx := ws.Ints(m.Cols - rank)
 	for c := rank; c < m.Cols; c++ {
-		idx = append(idx, c)
+		idx[c-rank] = c
 	}
-	return v.ColsSlice(idx...)
+	return ws.ColsSlice(v, idx)
 }

@@ -118,17 +118,20 @@ func (m MCS) BitsPerSubcarrierSymbol() float64 {
 
 // Table returns the eight 802.11n single-stream MCS entries (MCS0–MCS7,
 // 20 MHz, 800 ns GI), in increasing rate order.
-func Table() []MCS {
-	return []MCS{
-		{0, BPSK, R12},  // 6.5 Mb/s
-		{1, QPSK, R12},  // 13 Mb/s
-		{2, QPSK, R34},  // 19.5 Mb/s
-		{3, QAM16, R12}, // 26 Mb/s
-		{4, QAM16, R34}, // 39 Mb/s
-		{5, QAM64, R23}, // 52 Mb/s
-		{6, QAM64, R34}, // 58.5 Mb/s
-		{7, QAM64, R56}, // 65 Mb/s
-	}
+func Table() []MCS { return mcsTable }
+
+// mcsTable is shared by every Table call — the table is read-only by
+// convention, and the rate-selection hot loop iterates it per subcarrier,
+// so handing out one slice keeps that path allocation-free.
+var mcsTable = []MCS{
+	{0, BPSK, R12},  // 6.5 Mb/s
+	{1, QPSK, R12},  // 13 Mb/s
+	{2, QPSK, R34},  // 19.5 Mb/s
+	{3, QAM16, R12}, // 26 Mb/s
+	{4, QAM16, R34}, // 39 Mb/s
+	{5, QAM64, R23}, // 52 Mb/s
+	{6, QAM64, R34}, // 58.5 Mb/s
+	{7, QAM64, R56}, // 65 Mb/s
 }
 
 // HTMCS is a high-throughput MCS index covering multiple equal-modulation

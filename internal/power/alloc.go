@@ -19,8 +19,7 @@
 package power
 
 import (
-	"sort"
-
+	"copa/internal/linalg"
 	"copa/internal/ofdm"
 	"copa/internal/precoding"
 )
@@ -41,14 +40,20 @@ type Allocation struct {
 // implied by the linearized coefficients.
 func predictedSINRs(powerMW, coef []float64) []float64 {
 	sinrs := make([]float64, len(powerMW))
+	predictedSINRsInto(sinrs, powerMW, coef)
+	return sinrs
+}
+
+// predictedSINRsInto writes the per-subcarrier SINRs implied by the
+// linearized coefficients into dst (fully overwritten).
+func predictedSINRsInto(dst, powerMW, coef []float64) {
 	for k, p := range powerMW {
 		if p <= 0 {
-			sinrs[k] = precoding.Dropped
+			dst[k] = precoding.Dropped
 		} else {
-			sinrs[k] = p * coef[k]
+			dst[k] = p * coef[k]
 		}
 	}
-	return sinrs
 }
 
 // NoPA returns the status-quo allocation: budget split equally over all
@@ -74,15 +79,27 @@ func NoPA(coef []float64, budgetMW float64) Allocation {
 // When coef is a pure-SNR linearization this is the paper's Equi-SNR; fed
 // interference-aware coefficients it is one Equi-SINR step.
 func EquiSNR(coef []float64, budgetMW float64) Allocation {
+	var ws linalg.Workspace
+	a := EquiSNRWS(&ws, coef, budgetMW)
+	a.PowerMW = append([]float64(nil), a.PowerMW...)
+	return a
+}
+
+// EquiSNRWS is EquiSNR with all scratch and the returned power vector
+// carved from ws: allocation-free once ws has warmed up. The returned
+// Allocation.PowerMW lives in ws (see linalg.Workspace ownership rules).
+func EquiSNRWS(ws *linalg.Workspace, coef []float64, budgetMW float64) Allocation {
 	mEquiSNRCalls.Inc()
 	n := len(coef)
-	order := make([]int, n)
+	order := ws.Ints(n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return coef[order[a]] < coef[order[b]] })
+	linalg.SortOrderAsc(order, coef)
 
-	best := Allocation{PowerMW: make([]float64, n)}
+	best := Allocation{PowerMW: ws.Float64s(n)}
+	powers := ws.Float64s(n)
+	sinrs := ws.Float64s(n)
 	for drop := 0; drop < n; drop++ {
 		// Equalize SINR on the kept subcarriers: p_k = T/coef_k with
 		// T = budget / Σ 1/coef_k.
@@ -98,22 +115,32 @@ func EquiSNR(coef []float64, budgetMW float64) Allocation {
 			continue
 		}
 		target := budgetMW / invSum
-		powers := make([]float64, n)
+		clear(powers)
 		for _, k := range order[drop:] {
 			if coef[k] > 0 {
 				powers[k] = target / coef[k]
 			}
 		}
-		rate := ofdm.BestRate(predictedSINRs(powers, coef))
+		predictedSINRsInto(sinrs, powers, coef)
+		rate := ofdm.BestRate(sinrs)
 		if rate.GoodputBps > best.Rate.GoodputBps {
-			best = Allocation{PowerMW: powers, Rate: rate, Dropped: n - usable}
+			copy(best.PowerMW, powers)
+			best.Rate = rate
+			best.Dropped = n - usable
 		}
 	}
 	if best.Rate.GoodputBps == 0 {
 		// Nothing decodable at any drop count: fall back to equal split
 		// so the transmission descriptor stays well-formed.
 		mDropCount.ObserveInt(0)
-		return NoPA(coef, budgetMW)
+		per := budgetMW / float64(n)
+		for k := range best.PowerMW {
+			best.PowerMW[k] = per
+		}
+		predictedSINRsInto(sinrs, best.PowerMW, coef)
+		best.Rate = ofdm.BestRate(sinrs)
+		best.Dropped = 0
+		return best
 	}
 	mDropCount.ObserveInt(best.Dropped)
 	return best

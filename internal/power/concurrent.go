@@ -39,24 +39,26 @@ type Config struct {
 	// JointInner, when set, replaces the per-stream loop entirely with a
 	// joint allocation over all (subcarrier, stream) cells (see
 	// JointAware). Inner is ignored for senders with >1 stream when set.
+	// The coefs rows passed in are workspace-carved scratch: read them,
+	// don't retain them.
 	JointInner func(coefs [][]float64, budgetPerStreamMW float64) [][]float64
+
+	// Scratch, when set, is the workspace arena the iteration carves its
+	// SINR and allocation scratch from; the call resets it freely, so the
+	// caller must not hold workspace-carved values across Sequential or
+	// Concurrent. Leave nil to use a private arena per call.
+	Scratch *precoding.Workspace
 }
 
 // DefaultConfig returns the standard COPA allocation configuration.
+// Inner is left nil, which means EquiSNR: keeping the default as nil lets
+// the iteration take the allocation-free EquiSNRWS fast path.
 func DefaultConfig() Config {
 	return Config{
 		Impairments:  channel.DefaultImpairments(),
 		NoisePerSCMW: channel.NoisePerSubcarrierMW(),
 		MaxIters:     12,
-		Inner:        EquiSNR,
 	}
-}
-
-func (c *Config) inner() InnerAllocator {
-	if c.Inner == nil {
-		return EquiSNR
-	}
-	return c.Inner
 }
 
 // Result is the outcome of a joint (or solo) allocation.
@@ -105,21 +107,48 @@ func Concurrent(senders [2]SenderCSI, cfg Config) *Result {
 	return iterate(senders[:], cfg)
 }
 
+// newPowerGrid allocates an nSC×streams power matrix with contiguous rows.
+func newPowerGrid(nSC, streams int) [][]float64 {
+	flat := make([]float64, nSC*streams)
+	grid := make([][]float64, nSC)
+	for k := range grid {
+		grid[k] = flat[k*streams : (k+1)*streams : (k+1)*streams]
+	}
+	return grid
+}
+
 func iterate(senders []SenderCSI, cfg Config) *Result {
 	timing := mAllocSeconds.Begin()
 	n := len(senders)
 	nSC := len(senders[0].Own.Subcarriers)
-	inner := cfg.inner()
 	if cfg.MaxIters <= 0 {
 		cfg.MaxIters = 12
 	}
+	ws := cfg.Scratch
+	if ws == nil {
+		ws = &precoding.Workspace{}
+	}
+	ws.Reset()
 
-	// Working transmissions: equal split start (the paper's assumption
-	// about the other sender's initial behaviour).
+	// Working transmissions over ping-pong power grids: tx[i] reads from
+	// cur[i] while the Jacobi step writes next[i], so the workspace can be
+	// reset at every iteration boundary without touching live powers.
 	tx := make([]*precoding.Transmission, n)
+	cur := make([][][]float64, n)
+	next := make([][][]float64, n)
 	for i, s := range senders {
-		tx[i] = precoding.NewTransmission(s.Precoder,
-			precoding.EqualSplit(nSC, s.Precoder.Streams, s.BudgetMW), cfg.Impairments)
+		streams := s.Precoder.Streams
+		cur[i] = newPowerGrid(nSC, streams)
+		next[i] = newPowerGrid(nSC, streams)
+		// Equal split start (the paper's assumption about the other
+		// sender's initial behaviour); same arithmetic as EqualSplit.
+		per := s.BudgetMW / float64(nSC*streams)
+		for _, row := range cur[i] {
+			for st := range row {
+				row[st] = per
+			}
+		}
+		tx[i] = precoding.NewTransmission(s.Precoder, cur[i], cfg.Impairments)
 	}
 
 	crossFor := func(i int) (*channel.Link, *precoding.Transmission) {
@@ -138,10 +167,10 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 		goodput := make([]float64, n)
 		for i, s := range senders {
 			cl, ct := crossFor(i)
-			rates[i] = StreamRatesFor(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+			rates[i] = StreamRatesForWS(ws, s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
 			// Score with the joint (single-MCS-across-streams) rate the
 			// client will actually decode at.
-			goodput[i] = GoodputFor(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+			goodput[i] = GoodputForWS(ws, s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
 		}
 		return rates, goodput
 	}
@@ -172,37 +201,42 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 	snapshot(0, false)
 
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Everything carved last iteration (coefs, SINR scratch, inner
+		// allocations) is dead: live powers sit in cur/next and best holds
+		// deep copies.
+		ws.Reset()
 		// Jacobi step: every stream of every sender re-allocates against
 		// the interference of the *current* state; all updates then land
 		// together.
-		newPowers := make([][][]float64, n)
 		var maxDelta float64
 		for i, s := range senders {
 			cl, ct := crossFor(i)
-			coefs := precoding.SINRCoefficients(s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
+			coefs := precoding.SINRCoefficientsWS(ws, s.Own, tx[i], cl, ct, cfg.NoisePerSCMW)
 			streams := s.Precoder.Streams
 			perStream := s.BudgetMW / float64(streams)
-			var np [][]float64
+			np := next[i]
 			if cfg.JointInner != nil && streams > 1 {
-				np = cfg.JointInner(coefs, perStream)
-				for k := range np {
-					for st := range np[k] {
-						if d := math.Abs(np[k][st] - tx[i].PowerMW[k][st]); d > maxDelta {
+				jp := cfg.JointInner(coefs, perStream)
+				for k := range jp {
+					for st := range jp[k] {
+						np[k][st] = jp[k][st]
+						if d := math.Abs(jp[k][st] - tx[i].PowerMW[k][st]); d > maxDelta {
 							maxDelta = d
 						}
 					}
 				}
 			} else {
-				np = make([][]float64, nSC)
-				for k := range np {
-					np[k] = make([]float64, streams)
-				}
-				col := make([]float64, nSC)
+				col := ws.Float64s(nSC)
 				for st := 0; st < streams; st++ {
 					for k := range coefs {
 						col[k] = coefs[k][st]
 					}
-					alloc := inner(col, perStream)
+					var alloc Allocation
+					if cfg.Inner == nil {
+						alloc = EquiSNRWS(&ws.Workspace, col, perStream)
+					} else {
+						alloc = cfg.Inner(col, perStream)
+					}
 					for k := range np {
 						np[k][st] = alloc.PowerMW[k]
 						if d := math.Abs(alloc.PowerMW[k] - tx[i].PowerMW[k][st]); d > maxDelta {
@@ -211,10 +245,10 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 					}
 				}
 			}
-			newPowers[i] = np
 		}
 		for i := range tx {
-			tx[i] = precoding.NewTransmission(senders[i].Precoder, newPowers[i], cfg.Impairments)
+			cur[i], next[i] = next[i], cur[i]
+			tx[i] = precoding.NewTransmission(senders[i].Precoder, cur[i], cfg.Impairments)
 		}
 		converged := maxDelta < 1e-9*senders[0].BudgetMW
 		snapshot(iter, converged)

@@ -11,9 +11,17 @@ import (
 // per-subcarrier SINRs over the supplied channels and picks the best MCS
 // per stream. cross/crossTx may be nil for a sole sender.
 func StreamRatesFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) []ofdm.StreamRate {
-	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	var ws precoding.Workspace
+	return StreamRatesForWS(&ws, own, tx, cross, crossTx, noisePerSCMW)
+}
+
+// StreamRatesForWS is StreamRatesFor with SINR scratch carved from ws.
+// The returned slice is heap-allocated and safe to retain; only the
+// intermediate SINR matrices live in ws.
+func StreamRatesForWS(ws *precoding.Workspace, own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) []ofdm.StreamRate {
+	sinrs := precoding.StreamSINRsWS(ws, own, tx, cross, crossTx, noisePerSCMW)
 	rates := make([]ofdm.StreamRate, tx.Precoder.Streams)
-	col := make([]float64, len(sinrs))
+	col := ws.Float64s(len(sinrs))
 	for s := range rates {
 		for k := range sinrs {
 			col[k] = sinrs[k][s]
@@ -28,7 +36,8 @@ func StreamRatesFor(own *channel.Link, tx *precoding.Transmission, cross *channe
 // all spatial streams, so every used subcarrier–stream cell feeds one
 // frame (§2.1).
 func ClientRateFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) ofdm.JointRate {
-	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	var ws precoding.Workspace
+	sinrs := precoding.StreamSINRsWS(&ws, own, tx, cross, crossTx, noisePerSCMW)
 	return ofdm.JointBestRate(sinrs)
 }
 
@@ -37,13 +46,26 @@ func GoodputFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Li
 	return ClientRateFor(own, tx, cross, crossTx, noisePerSCMW).GoodputBps
 }
 
+// GoodputForWS is GoodputFor with SINR scratch carved from ws.
+func GoodputForWS(ws *precoding.Workspace, own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) float64 {
+	sinrs := precoding.StreamSINRsWS(ws, own, tx, cross, crossTx, noisePerSCMW)
+	return ofdm.JointBestRate(sinrs).GoodputBps
+}
+
 // MultiDecoderGoodputFor predicts goodput when the receiver can run an
 // independent rate (and decoder) per subcarrier — the Fig. 14
 // hypothetical. Same SINR model as GoodputFor, different rate mapping.
 func MultiDecoderGoodputFor(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) float64 {
-	sinrs := precoding.StreamSINRs(own, tx, cross, crossTx, noisePerSCMW)
+	var ws precoding.Workspace
+	return MultiDecoderGoodputForWS(&ws, own, tx, cross, crossTx, noisePerSCMW)
+}
+
+// MultiDecoderGoodputForWS is MultiDecoderGoodputFor with SINR scratch
+// carved from ws.
+func MultiDecoderGoodputForWS(ws *precoding.Workspace, own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission, noisePerSCMW float64) float64 {
+	sinrs := precoding.StreamSINRsWS(ws, own, tx, cross, crossTx, noisePerSCMW)
 	var total float64
-	col := make([]float64, len(sinrs))
+	col := ws.Float64s(len(sinrs))
 	for s := 0; s < tx.Precoder.Streams; s++ {
 		for k := range sinrs {
 			col[k] = sinrs[k][s]

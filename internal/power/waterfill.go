@@ -1,6 +1,23 @@
 package power
 
-import "copa/internal/ofdm"
+import (
+	"copa/internal/linalg"
+	"copa/internal/ofdm"
+)
+
+// waterfillSpend is the budget spent at water level mu: Σ max(0, μ − 1/g).
+func waterfillSpend(coef []float64, mu float64) float64 {
+	var total float64
+	for _, g := range coef {
+		if g <= 0 {
+			continue
+		}
+		if p := mu - 1/g; p > 0 {
+			total += p
+		}
+	}
+	return total
+}
 
 // Waterfill implements classic waterfilling, the capacity-optimal
 // allocation for Gaussian inputs (§2.1's reference point): p_k =
@@ -8,22 +25,19 @@ import "copa/internal/ofdm"
 // the budget. It is included as a baseline; the paper notes it performs
 // poorly for the discrete constellations practical radios transmit.
 func Waterfill(coef []float64, budgetMW float64) Allocation {
-	spend := func(mu float64) float64 {
-		var total float64
-		for _, g := range coef {
-			if g <= 0 {
-				continue
-			}
-			if p := mu - 1/g; p > 0 {
-				total += p
-			}
-		}
-		return total
-	}
+	var ws linalg.Workspace
+	a := WaterfillWS(&ws, coef, budgetMW)
+	a.PowerMW = append([]float64(nil), a.PowerMW...)
+	return a
+}
 
+// WaterfillWS is Waterfill with all scratch and the returned power vector
+// carved from ws: allocation-free once ws has warmed up. The returned
+// Allocation.PowerMW lives in ws (see linalg.Workspace ownership rules).
+func WaterfillWS(ws *linalg.Workspace, coef []float64, budgetMW float64) Allocation {
 	// Bracket the water level.
 	lo, hi := 0.0, 1.0
-	for spend(hi) < budgetMW {
+	for waterfillSpend(coef, hi) < budgetMW {
 		hi *= 2
 		if hi > 1e18 {
 			break
@@ -31,7 +45,7 @@ func Waterfill(coef []float64, budgetMW float64) Allocation {
 	}
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
-		if spend(mid) < budgetMW {
+		if waterfillSpend(coef, mid) < budgetMW {
 			lo = mid
 		} else {
 			hi = mid
@@ -39,7 +53,7 @@ func Waterfill(coef []float64, budgetMW float64) Allocation {
 	}
 	mu := (lo + hi) / 2
 
-	powers := make([]float64, len(coef))
+	powers := ws.Float64s(len(coef))
 	dropped := 0
 	for k, g := range coef {
 		if g > 0 {
@@ -50,9 +64,11 @@ func Waterfill(coef []float64, budgetMW float64) Allocation {
 		}
 		dropped++
 	}
+	sinrs := ws.Float64s(len(coef))
+	predictedSINRsInto(sinrs, powers, coef)
 	return Allocation{
 		PowerMW: powers,
-		Rate:    ofdm.BestRate(predictedSINRs(powers, coef)),
+		Rate:    ofdm.BestRate(sinrs),
 		Dropped: dropped,
 	}
 }

@@ -10,7 +10,6 @@ package precoding
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"copa/internal/channel"
@@ -70,22 +69,8 @@ func canonicalize(m *linalg.Matrix) {
 // right singular vectors of the channel, which maximize received power
 // per stream (§3.3).
 func Beamforming(csi *channel.Link, streams int) (*Precoder, error) {
-	if streams < 1 || streams > csi.NTx() || streams > csi.NRx() {
-		return nil, fmt.Errorf("precoding: cannot send %d streams over a %dx%d channel",
-			streams, csi.NRx(), csi.NTx())
-	}
-	p := &Precoder{Streams: streams, PerSubcarrier: make([]*linalg.Matrix, len(csi.Subcarriers))}
-	for k, h := range csi.Subcarriers {
-		_, _, v := h.SVD()
-		idx := make([]int, streams)
-		for i := range idx {
-			idx[i] = i
-		}
-		pc := v.ColsSlice(idx...)
-		canonicalize(pc)
-		p.PerSubcarrier[k] = pc
-	}
-	return p, nil
+	var ws Workspace
+	return BeamformingInto(&ws, nil, csi, streams)
 }
 
 // NullingDOF returns the number of streams a sender with nTx antennas can
@@ -110,32 +95,8 @@ func NullingDOF(nTx, nVictim int) int {
 // when the nullspace is smaller than the requested stream count — the
 // §3.4 situation.
 func Nulling(own, cross *channel.Link, streams int) (*Precoder, error) {
-	if own.NTx() != cross.NTx() {
-		return nil, fmt.Errorf("precoding: own/cross antenna mismatch %d vs %d", own.NTx(), cross.NTx())
-	}
-	if streams < 1 || streams > own.NRx() {
-		return nil, fmt.Errorf("precoding: cannot deliver %d streams to a %d-antenna client",
-			streams, own.NRx())
-	}
-	p := &Precoder{Streams: streams, PerSubcarrier: make([]*linalg.Matrix, len(own.Subcarriers))}
-	for k := range own.Subcarriers {
-		null := cross.Subcarriers[k].Nullspace(rankTol)
-		if null.Cols < streams {
-			return nil, fmt.Errorf("%w: nullspace dim %d < %d streams (nTx=%d, victim antennas=%d)",
-				ErrOverconstrained, null.Cols, streams, own.NTx(), cross.NRx())
-		}
-		// Effective channel inside the nullspace, then beamform there.
-		he := own.Subcarriers[k].Mul(null)
-		_, _, v := he.SVD()
-		idx := make([]int, streams)
-		for i := range idx {
-			idx[i] = i
-		}
-		pc := null.Mul(v.ColsSlice(idx...))
-		canonicalize(pc)
-		p.PerSubcarrier[k] = pc
-	}
-	return p, nil
+	var ws Workspace
+	return NullingInto(&ws, nil, own, cross, streams)
 }
 
 // Scaled returns the precoding matrix for subcarrier k with column i

@@ -2,7 +2,6 @@ package precoding
 
 import (
 	"copa/internal/channel"
-	"copa/internal/linalg"
 )
 
 // Dropped marks a subcarrier that carries no data for a stream in SINR
@@ -89,18 +88,6 @@ func (t *Transmission) TotalPowerMW() float64 {
 	return sum
 }
 
-// covariance accumulates this transmission's received covariance at a
-// receiver with true channel h (Nr×Nt) on subcarrier k into cov.
-func (t *Transmission) covariance(h *linalg.Matrix, k int) *linalg.Matrix {
-	scaled := t.Precoder.Scaled(k, t.PowerMW[k])
-	g := h.Mul(scaled) // Nr×Ns effective columns, power already applied
-	cov := g.Mul(g.H())
-	if v := t.TxNoiseVarMW[k]; v > 0 {
-		cov = cov.Add(h.Mul(h.H()).Scale(complex(v, 0)))
-	}
-	return cov
-}
-
 // StreamSINRs returns the per-subcarrier, per-stream post-MMSE SINR
 // (linear) at a client:
 //
@@ -116,51 +103,15 @@ func (t *Transmission) covariance(h *linalg.Matrix, k int) *linalg.Matrix {
 // thermal noise). Entries are Dropped for subcarriers the stream does not
 // use.
 func StreamSINRs(own *channel.Link, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64) [][]float64 {
-	nSC := len(own.Subcarriers)
-	out := make([][]float64, nSC)
-	for k := 0; k < nSC; k++ {
-		h := own.Subcarriers[k]
-		nr := h.Rows
+	var ws Workspace
+	return copyRows(StreamSINRsWS(&ws, own, ownTx, cross, crossTx, noisePerSCMW))
+}
 
-		// Covariance of everything arriving at the client.
-		scaled := ownTx.Precoder.Scaled(k, ownTx.PowerMW[k])
-		a := h.Mul(scaled) // Nr×Ns signal columns
-		r := a.Mul(a.H())
-		if v := ownTx.TxNoiseVarMW[k]; v > 0 {
-			r = r.Add(h.Mul(h.H()).Scale(complex(v, 0)))
-		}
-		if cross != nil && crossTx != nil {
-			r = r.Add(crossTx.covariance(cross.Subcarriers[k], k))
-		}
-		for i := 0; i < nr; i++ {
-			r.Set(i, i, r.At(i, i)+complex(noisePerSCMW, 0))
-		}
-
-		sinrs := make([]float64, ownTx.Precoder.Streams)
-		for s := range sinrs {
-			if ownTx.PowerMW[k][s] <= 0 {
-				sinrs[s] = Dropped
-				continue
-			}
-			ai := a.Col(s)
-			// Qᵢ = R − aᵢaᵢᴴ
-			q := r.Clone()
-			for ri := 0; ri < nr; ri++ {
-				for ci := 0; ci < nr; ci++ {
-					q.Set(ri, ci, q.At(ri, ci)-ai[ri]*conj(ai[ci]))
-				}
-			}
-			x, err := q.Solve(ai)
-			if err != nil {
-				sinrs[s] = Dropped
-				continue
-			}
-			sinrs[s] = real(linalg.Dot(ai, x))
-			if sinrs[s] < 0 {
-				sinrs[s] = 0
-			}
-		}
-		out[k] = sinrs
+// copyRows deep-copies a workspace-carved row matrix onto the heap.
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for k := range rows {
+		out[k] = append([]float64(nil), rows[k]...)
 	}
 	return out
 }
@@ -175,51 +126,8 @@ func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }
 // (Fig. 6) needs. Unlike StreamSINRs it is defined even for currently
 // dropped subcarriers.
 func SINRCoefficients(own *channel.Link, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64) [][]float64 {
-	nSC := len(own.Subcarriers)
-	out := make([][]float64, nSC)
-	for k := 0; k < nSC; k++ {
-		h := own.Subcarriers[k]
-		nr := h.Rows
-
-		scaled := ownTx.Precoder.Scaled(k, ownTx.PowerMW[k])
-		a := h.Mul(scaled)
-		unit := h.Mul(ownTx.Precoder.PerSubcarrier[k]) // unit-power columns
-		r := a.Mul(a.H())
-		if v := ownTx.TxNoiseVarMW[k]; v > 0 {
-			r = r.Add(h.Mul(h.H()).Scale(complex(v, 0)))
-		}
-		if cross != nil && crossTx != nil {
-			r = r.Add(crossTx.covariance(cross.Subcarriers[k], k))
-		}
-		for i := 0; i < nr; i++ {
-			r.Set(i, i, r.At(i, i)+complex(noisePerSCMW, 0))
-		}
-
-		coefs := make([]float64, ownTx.Precoder.Streams)
-		for s := range coefs {
-			// Q_s: everything except stream s's own signal.
-			ai := a.Col(s)
-			q := r.Clone()
-			for ri := 0; ri < nr; ri++ {
-				for ci := 0; ci < nr; ci++ {
-					q.Set(ri, ci, q.At(ri, ci)-ai[ri]*conj(ai[ci]))
-				}
-			}
-			ui := unit.Col(s)
-			x, err := q.Solve(ui)
-			if err != nil {
-				coefs[s] = 0
-				continue
-			}
-			c := real(linalg.Dot(ui, x))
-			if c < 0 {
-				c = 0
-			}
-			coefs[s] = c
-		}
-		out[k] = coefs
-	}
-	return out
+	var ws Workspace
+	return copyRows(SINRCoefficientsWS(&ws, own, ownTx, cross, crossTx, noisePerSCMW))
 }
 
 // EqualSplit builds the status-quo power allocation: the total budget

@@ -1,0 +1,245 @@
+package precoding
+
+import (
+	"fmt"
+	"math"
+
+	"copa/internal/channel"
+	"copa/internal/linalg"
+)
+
+// Workspace is the scratch arena for the allocation-free precoding paths:
+// the *WS SINR kernels and the *Into precoder builders. It embeds
+// linalg.Workspace, so one arena backs both layers and the linalg
+// ownership rules apply unchanged: values returned by *WS functions live
+// in the workspace until the owner calls Reset, *WS functions never Reset,
+// and a Workspace must not be shared between goroutines.
+//
+// The *Into builders are the exception: they treat the workspace as
+// exclusively theirs for the duration of the call (resetting it per
+// subcarrier) and return heap-backed results — callers must not hold
+// workspace-carved values across such a call.
+type Workspace struct {
+	linalg.Workspace
+}
+
+// scaledWS is Precoder.Scaled with the result carved from ws.
+func (p *Precoder) scaledWS(ws *Workspace, k int, powersMW []float64) *linalg.Matrix {
+	if len(powersMW) != p.Streams {
+		panic("precoding: power vector length mismatch")
+	}
+	m := ws.Clone(p.PerSubcarrier[k])
+	for c, pw := range powersMW {
+		amp := complex(math.Sqrt(math.Max(0, pw)), 0)
+		for r := 0; r < m.Rows; r++ {
+			m.Set(r, c, m.At(r, c)*amp)
+		}
+	}
+	return m
+}
+
+// covarianceWS carves this transmission's received covariance at a
+// receiver with true channel h (Nr×Nt) on subcarrier k from ws. Same
+// arithmetic as covariance.
+func (t *Transmission) covarianceWS(ws *Workspace, h *linalg.Matrix, k int) *linalg.Matrix {
+	scaled := t.Precoder.scaledWS(ws, k, t.PowerMW[k])
+	g := ws.Mul(h, scaled) // Nr×Ns effective columns, power already applied
+	cov := ws.Mul(g, ws.H(g))
+	if v := t.TxNoiseVarMW[k]; v > 0 {
+		hh := ws.Mul(h, ws.H(h))
+		cv := complex(v, 0)
+		for i := range cov.Data {
+			cov.Data[i] += hh.Data[i] * cv
+		}
+	}
+	return cov
+}
+
+// interferenceCovariance builds the per-subcarrier receive covariance R
+// shared by StreamSINRsWS and SINRCoefficientsWS: own signal plus own TX
+// noise plus (optional) cross interference plus thermal noise, preserving
+// the exact floating-point operation order of the heap implementation.
+// Returns R and the own signal columns a = h·scaled.
+func interferenceCovariance(ws *Workspace, h *linalg.Matrix, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64, k int) (r, a *linalg.Matrix) {
+	nr := h.Rows
+	scaled := ownTx.Precoder.scaledWS(ws, k, ownTx.PowerMW[k])
+	a = ws.Mul(h, scaled) // Nr×Ns signal columns
+	r = ws.Mul(a, ws.H(a))
+	if v := ownTx.TxNoiseVarMW[k]; v > 0 {
+		hh := ws.Mul(h, ws.H(h))
+		cv := complex(v, 0)
+		for i := range r.Data {
+			r.Data[i] += hh.Data[i] * cv
+		}
+	}
+	if cross != nil && crossTx != nil {
+		cov := crossTx.covarianceWS(ws, cross.Subcarriers[k], k)
+		for i := range r.Data {
+			r.Data[i] += cov.Data[i]
+		}
+	}
+	for i := 0; i < nr; i++ {
+		r.Set(i, i, r.At(i, i)+complex(noisePerSCMW, 0))
+	}
+	return r, a
+}
+
+// StreamSINRsWS is StreamSINRs with all scratch and result storage carved
+// from ws: allocation-free once ws has warmed up. The returned matrix
+// lives in ws (see Workspace ownership rules).
+func StreamSINRsWS(ws *Workspace, own *channel.Link, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64) [][]float64 {
+	nSC := len(own.Subcarriers)
+	out := ws.FloatRows(nSC, ownTx.Precoder.Streams)
+	for k := 0; k < nSC; k++ {
+		h := own.Subcarriers[k]
+		nr := h.Rows
+		r, a := interferenceCovariance(ws, h, ownTx, cross, crossTx, noisePerSCMW, k)
+
+		sinrs := out[k]
+		for s := range sinrs {
+			if ownTx.PowerMW[k][s] <= 0 {
+				sinrs[s] = Dropped
+				continue
+			}
+			ai := ws.Col(a, s)
+			// Qᵢ = R − aᵢaᵢᴴ
+			q := ws.Clone(r)
+			for ri := 0; ri < nr; ri++ {
+				for ci := 0; ci < nr; ci++ {
+					q.Set(ri, ci, q.At(ri, ci)-ai[ri]*conj(ai[ci]))
+				}
+			}
+			x, err := q.SolveWS(&ws.Workspace, ai)
+			if err != nil {
+				sinrs[s] = Dropped
+				continue
+			}
+			sinrs[s] = real(linalg.Dot(ai, x))
+			if sinrs[s] < 0 {
+				sinrs[s] = 0
+			}
+		}
+	}
+	return out
+}
+
+// SINRCoefficientsWS is SINRCoefficients with all scratch and result
+// storage carved from ws: allocation-free once ws has warmed up. The
+// returned matrix lives in ws (see Workspace ownership rules).
+func SINRCoefficientsWS(ws *Workspace, own *channel.Link, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64) [][]float64 {
+	nSC := len(own.Subcarriers)
+	out := ws.FloatRows(nSC, ownTx.Precoder.Streams)
+	for k := 0; k < nSC; k++ {
+		h := own.Subcarriers[k]
+		nr := h.Rows
+		r, a := interferenceCovariance(ws, h, ownTx, cross, crossTx, noisePerSCMW, k)
+		unit := ws.Mul(h, ownTx.Precoder.PerSubcarrier[k]) // unit-power columns
+
+		coefs := out[k]
+		for s := range coefs {
+			// Q_s: everything except stream s's own signal.
+			ai := ws.Col(a, s)
+			q := ws.Clone(r)
+			for ri := 0; ri < nr; ri++ {
+				for ci := 0; ci < nr; ci++ {
+					q.Set(ri, ci, q.At(ri, ci)-ai[ri]*conj(ai[ci]))
+				}
+			}
+			ui := ws.Col(unit, s)
+			x, err := q.SolveWS(&ws.Workspace, ui)
+			if err != nil {
+				coefs[s] = 0
+				continue
+			}
+			c := real(linalg.Dot(ui, x))
+			if c < 0 {
+				c = 0
+			}
+			coefs[s] = c
+		}
+	}
+	return out
+}
+
+// reusePrecoder prepares dst (allocating it if nil) to hold an
+// nSC-subcarrier precoder with the given stream count.
+func reusePrecoder(dst *Precoder, streams, nSC int) *Precoder {
+	if dst == nil {
+		dst = &Precoder{}
+	}
+	dst.Streams = streams
+	if len(dst.PerSubcarrier) != nSC {
+		dst.PerSubcarrier = make([]*linalg.Matrix, nSC)
+	}
+	return dst
+}
+
+// storeMatrix copies src (typically workspace-carved) into the heap-backed
+// matrix into, reusing its storage when shapes match.
+func storeMatrix(into, src *linalg.Matrix) *linalg.Matrix {
+	if into == nil || into.Rows != src.Rows || into.Cols != src.Cols {
+		return src.Clone()
+	}
+	copy(into.Data, src.Data)
+	return into
+}
+
+// BeamformingInto is Beamforming with scratch carved from ws and the
+// result written into dst (allocated if nil, matrix storage reused when
+// shapes match). The workspace is reset per subcarrier, so the caller must
+// not hold any ws-carved values across this call; the returned precoder is
+// heap-backed and independent of ws.
+func BeamformingInto(ws *Workspace, dst *Precoder, csi *channel.Link, streams int) (*Precoder, error) {
+	if streams < 1 || streams > csi.NTx() || streams > csi.NRx() {
+		return nil, fmt.Errorf("precoding: cannot send %d streams over a %dx%d channel",
+			streams, csi.NRx(), csi.NTx())
+	}
+	dst = reusePrecoder(dst, streams, len(csi.Subcarriers))
+	for k, h := range csi.Subcarriers {
+		ws.Reset()
+		_, _, v := h.SVDWS(&ws.Workspace)
+		idx := ws.Ints(streams)
+		for i := range idx {
+			idx[i] = i
+		}
+		pc := ws.ColsSlice(v, idx)
+		canonicalize(pc)
+		dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+	}
+	return dst, nil
+}
+
+// NullingInto is Nulling with scratch carved from ws and the result
+// written into dst (allocated if nil, matrix storage reused when shapes
+// match). The workspace is reset per subcarrier, so the caller must not
+// hold any ws-carved values across this call; the returned precoder is
+// heap-backed and independent of ws.
+func NullingInto(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams int) (*Precoder, error) {
+	if own.NTx() != cross.NTx() {
+		return nil, fmt.Errorf("precoding: own/cross antenna mismatch %d vs %d", own.NTx(), cross.NTx())
+	}
+	if streams < 1 || streams > own.NRx() {
+		return nil, fmt.Errorf("precoding: cannot deliver %d streams to a %d-antenna client",
+			streams, own.NRx())
+	}
+	dst = reusePrecoder(dst, streams, len(own.Subcarriers))
+	for k := range own.Subcarriers {
+		ws.Reset()
+		null := cross.Subcarriers[k].NullspaceWS(&ws.Workspace, rankTol)
+		if null.Cols < streams {
+			return nil, fmt.Errorf("%w: nullspace dim %d < %d streams (nTx=%d, victim antennas=%d)",
+				ErrOverconstrained, null.Cols, streams, own.NTx(), cross.NRx())
+		}
+		// Effective channel inside the nullspace, then beamform there.
+		he := ws.Mul(own.Subcarriers[k], null)
+		_, _, v := he.SVDWS(&ws.Workspace)
+		idx := ws.Ints(streams)
+		for i := range idx {
+			idx[i] = i
+		}
+		pc := ws.Mul(null, ws.ColsSlice(v, idx))
+		canonicalize(pc)
+		dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+	}
+	return dst, nil
+}

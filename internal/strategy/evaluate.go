@@ -38,6 +38,21 @@ type Evaluator struct {
 	// tx remembers the transmissions computed for each evaluated
 	// strategy so a selected outcome can actually be transmitted.
 	tx map[Kind][2]*precoding.Transmission
+
+	// ws is the evaluator's scratch arena: SINR evaluation, power
+	// allocation, and precoder construction all carve their scratch from
+	// it, so repeated evaluations are allocation-free in steady state. It
+	// is lazily created and makes the evaluator single-goroutine (use one
+	// Evaluator per goroutine).
+	ws *precoding.Workspace
+	// bf caches SVD beamforming precoders by stream count: CSMA,
+	// COPA-SEQ, and ConcBF all beamform from the same estimates, so the
+	// SVDs only need to run once. Valid because Est is fixed after
+	// construction.
+	bf map[int][2]*precoding.Precoder
+	// nulls caches the nulling plan and setup per follower designation:
+	// KindNull and KindConcNull share precoders and reduced link sets.
+	nulls map[int]*nullingState
 }
 
 // DefaultCoherence is the paper's evaluation setting (§4.1).
@@ -93,13 +108,27 @@ func (ev *Evaluator) MeasureOnDeployment(dep *channel.Deployment, tx [2]*precodi
 	return ev.pairThroughputs(l, tx, concurrent, schemeOverhead, false)
 }
 
-// goodput evaluates one client's PHY goodput with the configured decoder
-// model.
-func (ev *Evaluator) goodput(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission) float64 {
-	if ev.MultiDecoder {
-		return power.MultiDecoderGoodputFor(own, tx, cross, crossTx, ev.Alloc.NoisePerSCMW)
+// workspace returns the evaluator's scratch arena, creating it on first
+// use and wiring it into the power-allocation config so every layer of an
+// evaluation shares one arena.
+func (ev *Evaluator) workspace() *precoding.Workspace {
+	if ev.ws == nil {
+		ev.ws = &precoding.Workspace{}
+		ev.Alloc.Scratch = ev.ws
 	}
-	return power.GoodputFor(own, tx, cross, crossTx, ev.Alloc.NoisePerSCMW)
+	return ev.ws
+}
+
+// goodput evaluates one client's PHY goodput with the configured decoder
+// model. It resets the evaluator workspace, so callers must not hold
+// workspace-carved values across a call.
+func (ev *Evaluator) goodput(own *channel.Link, tx *precoding.Transmission, cross *channel.Link, crossTx *precoding.Transmission) float64 {
+	ws := ev.workspace()
+	ws.Reset()
+	if ev.MultiDecoder {
+		return power.MultiDecoderGoodputForWS(ws, own, tx, cross, crossTx, ev.Alloc.NoisePerSCMW)
+	}
+	return power.GoodputForWS(ws, own, tx, cross, crossTx, ev.Alloc.NoisePerSCMW)
 }
 
 // links is a 2×2 channel set (truth or estimates), possibly with a
@@ -174,15 +203,25 @@ func (ev *Evaluator) equalSplitTx(p [2]*precoding.Precoder) [2]*precoding.Transm
 }
 
 // beamformers builds per-AP SVD beamforming precoders from estimates.
+// Results are cached by stream count (Est is fixed after construction),
+// so the three beamforming strategies share one SVD pass.
 func (ev *Evaluator) beamformers(streams int) ([2]*precoding.Precoder, error) {
+	if p, ok := ev.bf[streams]; ok {
+		return p, nil
+	}
 	var p [2]*precoding.Precoder
+	ws := ev.workspace()
 	for i := 0; i < 2; i++ {
-		bf, err := precoding.Beamforming(ev.Est[i][i], streams)
+		bf, err := precoding.BeamformingInto(ws, nil, ev.Est[i][i], streams)
 		if err != nil {
 			return p, err
 		}
 		p[i] = bf
 	}
+	if ev.bf == nil {
+		ev.bf = make(map[int][2]*precoding.Precoder)
+	}
+	ev.bf[streams] = p
 	return p, nil
 }
 
@@ -348,8 +387,9 @@ func (ev *Evaluator) nullingSetup(plan nullingPlan) (truth, est links, p [2]*pre
 		truth = truth.reduced(plan.sdaOn, plan.shutIdx)
 		est = est.reduced(plan.sdaOn, plan.shutIdx)
 	}
+	ws := ev.workspace()
 	for i := 0; i < 2; i++ {
-		p[i], err = precoding.Nulling(est[i][i], est[i][1-i], plan.streams[i])
+		p[i], err = precoding.NullingInto(ws, nil, est[i][i], est[i][1-i], plan.streams[i])
 		if err != nil {
 			return truth, est, p, err
 		}
@@ -357,17 +397,41 @@ func (ev *Evaluator) nullingSetup(plan nullingPlan) (truth, est links, p [2]*pre
 	return truth, est, p, nil
 }
 
+// nullingState is the cached result of planning and setting up nulling
+// for one follower designation.
+type nullingState struct {
+	plan       nullingPlan
+	truth, est links
+	p          [2]*precoding.Precoder
+	err        error
+}
+
+// nullingStateFor returns the (cached) nulling plan and setup for a
+// follower designation; infeasibility is cached too.
+func (ev *Evaluator) nullingStateFor(follower int) (*nullingState, error) {
+	if st, ok := ev.nulls[follower]; ok {
+		return st, st.err
+	}
+	st := &nullingState{}
+	st.plan, st.err = ev.planNulling(follower)
+	if st.err == nil {
+		st.truth, st.est, st.p, st.err = ev.nullingSetup(st.plan)
+	}
+	if ev.nulls == nil {
+		ev.nulls = make(map[int]*nullingState)
+	}
+	ev.nulls[follower] = st
+	return st, st.err
+}
+
 // evaluateNullVariant evaluates vanilla nulling (equal power) or COPA
 // concurrent nulling (joint allocation) for one follower designation.
 func (ev *Evaluator) evaluateNullVariant(kind Kind, follower int) (Outcome, error) {
-	plan, err := ev.planNulling(follower)
+	st, err := ev.nullingStateFor(follower)
 	if err != nil {
 		return Outcome{}, err
 	}
-	truth, est, p, err := ev.nullingSetup(plan)
-	if err != nil {
-		return Outcome{}, err
-	}
+	plan, truth, est, p := st.plan, st.truth, st.est, st.p
 	var tx [2]*precoding.Transmission
 	if kind == KindNull {
 		tx = ev.equalSplitTx(p)

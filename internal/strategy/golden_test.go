@@ -1,0 +1,126 @@
+package strategy
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/rng"
+)
+
+// goldenRow pins one strategy outcome on a fixed-seed deployment.
+type goldenRow struct {
+	kind      Kind
+	conc, sda bool
+	pc0, pc1  uint64 // math.Float64bits of PerClient
+	pr0, pr1  uint64 // math.Float64bits of Predicted
+}
+
+// goldenOutcomes were captured from the seed implementation (before the
+// workspace refactor) with:
+//
+//	src := rng.New(42)
+//	dep := channel.NewDeployment(src.Split(1), sc)
+//	ev := NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
+//	outs, _ := ev.EvaluateAll()
+//
+// and recording math.Float64bits of every outcome field. The refactor is
+// required to be bit-for-bit identical, so any drift here means a
+// floating-point operation was reordered somewhere in the pipeline.
+var goldenOutcomes = map[string][]goldenRow{
+	"4x2": {
+		{Kind(0), false, false, 0x4188b32d3f672084, 0x418b6210c0d877a6, 0x41889cba9b5ea9c3, 0x418b62110568b3d3},
+		{Kind(1), false, false, 0x418a6ec9fc50bdaf, 0x418b222856172067, 0x418a6c7ee7882ba2, 0x418b22285617209d},
+		{Kind(2), true, false, 0x4149424aa76c6f94, 0x418563bcdfab73b0, 0x413eb686d9f40d26, 0x418701b79effa2a5},
+		{Kind(3), true, false, 0x41685f7b308d4299, 0x4184c7bff0106740, 0x41694e140be3d6ac, 0x41867e67ef943e35},
+		{Kind(4), true, false, 0x417275cca5f9aff1, 0x4191a6f8b2e2ad0c, 0x41782b7673a4d136, 0x4191f90c4d18eb0e},
+	},
+	"1x1": {
+		{Kind(0), false, false, 0x415e43a395259f04, 0x4168b8a383f25896, 0x4160d731ae9c5492, 0x416dc5c690075f93},
+		{Kind(1), false, false, 0x41611d429649df4d, 0x417a0f4eb9b4635d, 0x4168beded158b56a, 0x417a13a2302c82c0},
+		{Kind(3), true, false, 0x41555d5cefa1615d, 0x4170da2f6eb8b822, 0x415562df47bf84ff, 0x4170d9c4b26e8511},
+	},
+	"3x2": {
+		{Kind(0), false, false, 0x4184c294ec7432eb, 0x41889edb1675ce03, 0x4185120e89e6163d, 0x4188a0ea102d170b},
+		{Kind(1), false, false, 0x4186f54384bc7461, 0x418b220d36161c79, 0x4186edcb8ceeb381, 0x418b2213d0c02ed7},
+		{Kind(2), true, true, 0x415727a8ae5bc1e8, 0x41800a9a1e131e18, 0x415a60ca5eae7510, 0x4180089c140fd094},
+		{Kind(3), true, false, 0x41514f7450a4a8aa, 0x417a951fece6ffa9, 0x4150e991af60af1f, 0x417a8e0f5fd9b2c1},
+		{Kind(4), true, true, 0x4178f4cfd104e660, 0x418ab2ca153c5efa, 0x4174701b933987fa, 0x418b3920045f5ad0},
+	},
+}
+
+var goldenScenarios = map[string]channel.Scenario{
+	"4x2": channel.Scenario4x2,
+	"1x1": channel.Scenario1x1,
+	"3x2": channel.Scenario3x2,
+}
+
+// matchBits reports whether got reproduces the pinned bits. On amd64 Go
+// never fuses multiply-adds, so the match must be exact; on FMA targets
+// (arm64, ppc64, s390x) the compiler may contract a*b+c, so a tight
+// relative tolerance is used instead.
+func matchBits(got float64, want uint64) bool {
+	if runtime.GOARCH == "amd64" {
+		return math.Float64bits(got) == want
+	}
+	w := math.Float64frombits(want)
+	if got == w {
+		return true
+	}
+	return math.Abs(got-w) <= 1e-9*math.Max(math.Abs(got), math.Abs(w))
+}
+
+// TestGoldenOutcomes proves the allocation-free evaluation path is
+// numerically identical to the seed implementation: same strategies
+// feasible, same Concurrent/SDA flags, same per-client and predicted
+// throughputs to the last bit (on amd64).
+func TestGoldenOutcomes(t *testing.T) {
+	for name, rows := range goldenOutcomes {
+		t.Run(name, func(t *testing.T) {
+			src := rng.New(42)
+			dep := channel.NewDeployment(src.Split(1), goldenScenarios[name])
+			ev := NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
+			outs, err := ev.EvaluateAll()
+			if err != nil {
+				t.Fatalf("EvaluateAll: %v", err)
+			}
+			kinds := make([]Kind, 0, len(outs))
+			for k := range outs {
+				kinds = append(kinds, k)
+			}
+			sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+			if len(kinds) != len(rows) {
+				t.Fatalf("got %d outcomes, want %d", len(kinds), len(rows))
+			}
+			for i, row := range rows {
+				if kinds[i] != row.kind {
+					t.Fatalf("outcome %d: kind %v, want %v", i, kinds[i], row.kind)
+				}
+				o := outs[row.kind]
+				if o.Concurrent != row.conc || o.SDA != row.sda {
+					t.Errorf("%v: conc=%v sda=%v, want conc=%v sda=%v",
+						row.kind, o.Concurrent, o.SDA, row.conc, row.sda)
+				}
+				checks := []struct {
+					name string
+					got  float64
+					want uint64
+				}{
+					{"PerClient[0]", o.PerClient[0], row.pc0},
+					{"PerClient[1]", o.PerClient[1], row.pc1},
+					{"Predicted[0]", o.Predicted[0], row.pr0},
+					{"Predicted[1]", o.Predicted[1], row.pr1},
+				}
+				for _, c := range checks {
+					if !matchBits(c.got, c.want) {
+						t.Errorf("%v %s = %v (bits %#x), want bits %#x (%v)",
+							row.kind, c.name, c.got, math.Float64bits(c.got),
+							c.want, math.Float64frombits(c.want))
+					}
+				}
+			}
+		})
+	}
+}
