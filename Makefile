@@ -6,11 +6,11 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
-.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz clean
+.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest clean
 
 all: build test
 
@@ -60,6 +60,17 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzITSReqParse$$' -fuzztime $(FUZZTIME) ./internal/mac
 	$(GO) test -run '^$$' -fuzz '^FuzzITSAckParse$$' -fuzztime $(FUZZTIME) ./internal/mac
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMatrices$$' -fuzztime $(FUZZTIME) ./internal/csi
+
+# serve runs the allocation daemon on its default port with debug
+# endpoints enabled; override SERVE_FLAGS for a different shape.
+SERVE_FLAGS ?= -listen 127.0.0.1:7800
+serve:
+	$(GO) run ./cmd/copaserve $(SERVE_FLAGS)
+
+# loadtest drives the httptest-based serving load/shedding suite
+# (mixed cache hits/misses, 503 shedding, SIGTERM drain) verbosely.
+loadtest:
+	$(GO) test -v -run 'TestLoad|TestQueueFull|TestSigterm' ./cmd/copaserve
 
 clean:
 	$(GO) clean ./...

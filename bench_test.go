@@ -9,6 +9,7 @@
 package copa
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -164,7 +165,7 @@ func scenarioBench(b *testing.B, key, label string, sc channel.Scenario, deltaDB
 		cfg := testbed.DefaultConfig(benchSeed)
 		cfg.Topologies = benchTopologies
 		cfg.InterferenceDeltaDB = deltaDB
-		res, err := testbed.RunScenario(sc, cfg)
+		res, err := testbed.RunScenario(context.Background(), sc, cfg)
 		if err != nil {
 			fmt.Printf("%s: %v\n", label, err)
 			return
@@ -219,7 +220,7 @@ func BenchmarkFigure13(b *testing.B) {
 
 func BenchmarkFigure14(b *testing.B) {
 	once("fig14", func() {
-		f, err := testbed.RunFigure14(benchSeed, 12)
+		f, err := testbed.RunFigure14(context.Background(), benchSeed, 12)
 		if err != nil {
 			fmt.Printf("figure 14: %v\n", err)
 			return
@@ -254,7 +255,7 @@ func BenchmarkHeadlines(b *testing.B) {
 		cfg := testbed.DefaultConfig(benchSeed)
 		cfg.Topologies = benchTopologies
 		cfg.SkipCOPAPlus = true
-		res, err := testbed.RunScenario(channel.Scenario4x2, cfg)
+		res, err := testbed.RunScenario(context.Background(), channel.Scenario4x2, cfg)
 		if err != nil {
 			fmt.Printf("headlines: %v\n", err)
 			return
@@ -379,7 +380,7 @@ func BenchmarkAblationFairness(b *testing.B) {
 		cfg.SkipCOPAPlus = true
 		var lines string
 		for _, sc := range []channel.Scenario{channel.Scenario1x1, channel.Scenario4x2, channel.Scenario3x2} {
-			res, err := testbed.RunScenario(sc, cfg)
+			res, err := testbed.RunScenario(context.Background(), sc, cfg)
 			if err != nil {
 				continue
 			}
@@ -422,7 +423,7 @@ func BenchmarkAblationCoherenceTime(b *testing.B) {
 
 func BenchmarkPredictionAccuracy(b *testing.B) {
 	once("predAcc", func() {
-		acc, err := testbed.RunPredictionAccuracy(benchSeed, 20)
+		acc, err := testbed.RunPredictionAccuracy(context.Background(), benchSeed, 20)
 		if err != nil {
 			fmt.Printf("prediction accuracy: %v\n", err)
 			return
@@ -439,7 +440,7 @@ func BenchmarkSeedRobustness(b *testing.B) {
 		cfg := testbed.DefaultConfig(benchSeed)
 		cfg.Topologies = 10
 		cfg.SkipCOPAPlus = true
-		rob, err := testbed.RunSeedRobustness(channel.Scenario4x2, cfg, 3)
+		rob, err := testbed.RunSeedRobustness(context.Background(), channel.Scenario4x2, cfg, 3)
 		if err != nil {
 			fmt.Printf("robustness: %v\n", err)
 			return

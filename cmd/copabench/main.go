@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		pattern   = flag.String("bench", "EquiSNR|EvaluateAll|Figure9", "benchmark regexp passed to go test -bench")
+		pattern   = flag.String("bench", "EquiSNR|EvaluateAll|Figure9|ServeAllocate", "benchmark regexp passed to go test -bench")
 		count     = flag.Int("count", 3, "samples per benchmark (best is kept)")
 		benchtime = flag.String("benchtime", "5x", "go test -benchtime value; Nx keeps allocs/op deterministic")
 		pkg       = flag.String("pkg", ".", "package containing the benchmarks")

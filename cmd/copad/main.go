@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"copa/internal/channel"
+	"copa/internal/cliflags"
 	"copa/internal/core"
 	"copa/internal/mac"
 	"copa/internal/medium"
@@ -38,57 +39,31 @@ import (
 func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
 
 func run(args []string, out *os.File) int {
-	fs := flag.NewFlagSet("copad", flag.ExitOnError)
+	fs := flag.NewFlagSet("copad", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7701", "UDP host:port this AP listens on")
 	peer := fs.String("peer", "127.0.0.1:7702", "UDP host:port of the other AP")
 	lead := fs.Bool("lead", false, "run the leader role (AP 0); the peer follows (AP 1)")
-	seed := fs.Int64("seed", 1, "shared master seed (both processes must match)")
-	scenario := fs.String("scenario", "4x2", "antenna scenario: 1x1, 4x2, 3x2 (both processes must match)")
-	mode := fs.String("mode", "max", "leader selection mode: max or fair")
+	seed := cliflags.Seed(fs, 1)
+	scenario := cliflags.Scenario(fs, "4x2", "antenna scenario: 1x1, 4x2, 3x2 (both processes must match)")
+	mode := cliflags.Mode(fs, "max", "leader selection mode: max or fair")
 	airtimeUS := fs.Uint("airtime-us", 4000, "announced TXOP airtime in µs")
 	retries := fs.Int("retries", 4, "attempt budget per exchange leg")
 	loss := fs.Float64("loss", 0, "injected control-frame loss probability on this side")
 	burst := fs.Float64("burst", 1, "mean loss-burst length in frames (>1 enables Gilbert–Elliott)")
 	wait := fs.Duration("wait", 10*time.Second, "follower: how long to wait for the leader's INIT")
 	legTimeout := fs.Duration("leg-timeout", 250*time.Millisecond, "per-leg timeout floor over real sockets")
-	debugAddr := fs.String("debug-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
-	verbose := fs.Bool("v", false, "debug logging")
-	_ = fs.Parse(args)
-	obs.SetVerbose(*verbose)
+	dbg := cliflags.Debug(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	stopDebug, err := dbg.Start()
+	if err != nil {
+		obs.Logger().Error("debug server failed", "addr", dbg.Addr, "err", err)
+		return 1
+	}
+	defer stopDebug()
 	logger := obs.Logger()
-
-	var sc channel.Scenario
-	switch *scenario {
-	case "1x1":
-		sc = channel.Scenario1x1
-	case "4x2":
-		sc = channel.Scenario4x2
-	case "3x2":
-		sc = channel.Scenario3x2
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (want 1x1, 4x2, 3x2)\n", *scenario)
-		return 2
-	}
-	var m strategy.Mode
-	switch *mode {
-	case "max":
-		m = strategy.ModeMax
-	case "fair":
-		m = strategy.ModeFair
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want max or fair)\n", *mode)
-		return 2
-	}
-
-	if *debugAddr != "" {
-		bound, shutdown, err := obs.ServeDebug(*debugAddr)
-		if err != nil {
-			logger.Error("debug server failed", "addr", *debugAddr, "err", err)
-			return 1
-		}
-		defer shutdown()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
-	}
+	sc, m := *scenario, *mode
 
 	// Rebuild the shared deployment: same seed → same channels, same CSI
 	// caches on both sides. The -lead process drives AP 0.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -169,7 +170,7 @@ simulated testbed (seed `)
 			cfg.Topologies = *topologies
 			cfg.InterferenceDeltaDB = deltaDB
 			cfg.SkipCOPAPlus = *skipPlus
-			res, err := testbed.RunScenario(sc, cfg)
+			res, err := testbed.RunScenario(context.Background(), sc, cfg)
 			if err != nil {
 				return err
 			}
@@ -232,7 +233,7 @@ simulated testbed (seed `)
 		if n > 12 {
 			n = 12 // two full scenario runs per antenna configuration
 		}
-		f, err := testbed.RunFigure14(*seed, n)
+		f, err := testbed.RunFigure14(context.Background(), *seed, n)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with the race detector,
+// which slows execution far too much for throughput assertions to hold.
+const raceEnabled = true

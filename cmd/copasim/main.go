@@ -14,14 +14,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"syscall"
 
 	"copa/internal/channel"
+	"copa/internal/cliflags"
 	"copa/internal/obs"
 	"copa/internal/strategy"
 	"copa/internal/testbed"
@@ -32,31 +36,30 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) int {
 	fs := flag.NewFlagSet("copasim", flag.ExitOnError)
 	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
-	seed := fs.Int64("seed", 1, "master seed (same seed → same testbed)")
+	seed := cliflags.Seed(fs, 1)
 	topologies := fs.Int("topologies", 30, "number of topologies per scenario")
 	lossRate := fs.Float64("loss", 0, "-fig loss: evaluate this single control-frame loss rate instead of the 0–30% sweep")
 	burst := fs.Float64("burst", 1, "-fig loss: mean loss-burst length in frames (>1 switches to Gilbert–Elliott bursts)")
 	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
 	outDir := fs.String("out", "", "directory to also write CSV data files into")
-	verbose := fs.Bool("v", false, "debug logging (per-topology progress)")
-	debugAddr := fs.String("debug-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+	dbg := cliflags.Debug(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOut := fs.String("trace-out", "", "write a runtime execution trace to this file")
 	_ = fs.Parse(args)
+	// Ctrl-C (or SIGTERM) cancels the context the experiment harness
+	// runs under: the current figure aborts between topologies instead
+	// of the process dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	csvDir = *outDir
-	obs.SetVerbose(*verbose)
 	logger := obs.Logger()
-
-	if *debugAddr != "" {
-		bound, shutdown, err := obs.ServeDebug(*debugAddr)
-		if err != nil {
-			logger.Error("debug server failed", "addr", *debugAddr, "err", err)
-			return 1
-		}
-		defer shutdown()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
+	stopDebug, err := dbg.Start()
+	if err != nil {
+		logger.Error("debug server failed", "addr", dbg.Addr, "err", err)
+		return 1
 	}
+	defer stopDebug()
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -124,22 +127,22 @@ func run(args []string) int {
 	runOne("7", func() error { printFigure7(*seed); return nil })
 	runOne("9", func() error { printFigure9(*seed, *topologies); return nil })
 	runOne("10", func() error {
-		return printScenario("Figure 10 (1x1)", channel.Scenario1x1, *seed, *topologies, 0, *skipPlus)
+		return printScenario(ctx, "Figure 10 (1x1)", channel.Scenario1x1, *seed, *topologies, 0, *skipPlus)
 	})
 	runOne("11", func() error {
-		return printScenario("Figure 11 (4x2)", channel.Scenario4x2, *seed, *topologies, 0, *skipPlus)
+		return printScenario(ctx, "Figure 11 (4x2)", channel.Scenario4x2, *seed, *topologies, 0, *skipPlus)
 	})
 	runOne("12", func() error {
-		return printScenario("Figure 12 (4x2, interference −10 dB)", channel.Scenario4x2, *seed, *topologies, -10, *skipPlus)
+		return printScenario(ctx, "Figure 12 (4x2, interference −10 dB)", channel.Scenario4x2, *seed, *topologies, -10, *skipPlus)
 	})
 	runOne("13", func() error {
-		return printScenario("Figure 13 (3x2)", channel.Scenario3x2, *seed, *topologies, 0, *skipPlus)
+		return printScenario(ctx, "Figure 13 (3x2)", channel.Scenario3x2, *seed, *topologies, 0, *skipPlus)
 	})
-	runOne("14", func() error { return printFigure14(*seed, *topologies) })
-	runOne("headlines", func() error { return printHeadlines(*seed, *topologies) })
-	runOne("accuracy", func() error { return printAccuracy(*seed, *topologies) })
+	runOne("14", func() error { return printFigure14(ctx, *seed, *topologies) })
+	runOne("headlines", func() error { return printHeadlines(ctx, *seed, *topologies) })
+	runOne("accuracy", func() error { return printAccuracy(ctx, *seed, *topologies) })
 	runOne("backlog", func() error { return printBacklog(*seed) })
-	runOne("loss", func() error { return printLossSweep(*seed, *topologies, *lossRate, *burst) })
+	runOne("loss", func() error { return printLossSweep(ctx, *seed, *topologies, *lossRate, *burst) })
 	if !matched {
 		logger.Error("unknown figure", "fig", *fig)
 		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
@@ -253,12 +256,12 @@ func printFigure9(seed int64, topologies int) {
 	}
 }
 
-func printScenario(name string, sc channel.Scenario, seed int64, topologies int, deltaDB float64, skipPlus bool) error {
+func printScenario(ctx context.Context, name string, sc channel.Scenario, seed int64, topologies int, deltaDB float64, skipPlus bool) error {
 	cfg := testbed.DefaultConfig(seed)
 	cfg.Topologies = topologies
 	cfg.InterferenceDeltaDB = deltaDB
 	cfg.SkipCOPAPlus = skipPlus
-	res, err := testbed.RunScenario(sc, cfg)
+	res, err := testbed.RunScenario(ctx, sc, cfg)
 	if err != nil {
 		return err
 	}
@@ -282,8 +285,8 @@ func printScenario(name string, sc channel.Scenario, seed int64, topologies int,
 	return nil
 }
 
-func printFigure14(seed int64, topologies int) error {
-	f, err := testbed.RunFigure14(seed, topologies)
+func printFigure14(ctx context.Context, seed int64, topologies int) error {
+	f, err := testbed.RunFigure14(ctx, seed, topologies)
 	if err != nil {
 		return err
 	}
@@ -305,8 +308,8 @@ func printFigure14(seed int64, topologies int) error {
 	return nil
 }
 
-func printAccuracy(seed int64, topologies int) error {
-	acc, err := testbed.RunPredictionAccuracy(seed, topologies)
+func printAccuracy(ctx context.Context, seed int64, topologies int) error {
+	acc, err := testbed.RunPredictionAccuracy(ctx, seed, topologies)
 	if err != nil {
 		return err
 	}
@@ -360,7 +363,7 @@ func printBacklog(seed int64) error {
 	return nil
 }
 
-func printLossSweep(seed int64, topologies int, loss, burst float64) error {
+func printLossSweep(ctx context.Context, seed int64, topologies int, loss, burst float64) error {
 	cfg := testbed.DefaultLossSweepConfig(seed)
 	// The sweep is exchange-by-exchange (not batch-evaluated), so cap the
 	// population to keep -fig all fast.
@@ -371,7 +374,7 @@ func printLossSweep(seed int64, topologies int, loss, burst float64) error {
 	if loss > 0 {
 		cfg.LossRates = []float64{loss}
 	}
-	sweep, err := testbed.RunLossSweep(channel.Scenario4x2, cfg)
+	sweep, err := testbed.RunLossSweep(ctx, channel.Scenario4x2, cfg)
 	if err != nil {
 		return err
 	}
@@ -392,11 +395,11 @@ func printLossSweep(seed int64, topologies int, loss, burst float64) error {
 	return nil
 }
 
-func printHeadlines(seed int64, topologies int) error {
+func printHeadlines(ctx context.Context, seed int64, topologies int) error {
 	cfg := testbed.DefaultConfig(seed)
 	cfg.Topologies = topologies
 	cfg.SkipCOPAPlus = true
-	res, err := testbed.RunScenario(channel.Scenario4x2, cfg)
+	res, err := testbed.RunScenario(ctx, channel.Scenario4x2, cfg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,7 +27,7 @@ func TestDebugSurface(t *testing.T) {
 	cfg := testbed.DefaultConfig(1)
 	cfg.Topologies = 3
 	cfg.SkipCOPAPlus = true
-	if _, err := testbed.RunScenario(channel.Scenario4x2, cfg); err != nil {
+	if _, err := testbed.RunScenario(context.Background(), channel.Scenario4x2, cfg); err != nil {
 		t.Fatalf("RunScenario: %v", err)
 	}
 

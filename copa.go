@@ -34,6 +34,7 @@ import (
 	"copa/internal/power"
 	"copa/internal/precoding"
 	"copa/internal/rng"
+	"copa/internal/serve"
 	"copa/internal/strategy"
 	"copa/internal/testbed"
 )
@@ -294,6 +295,41 @@ func Logger() *slog.Logger { return obs.Logger() }
 
 // SetVerbose switches the logger between Info (false) and Debug (true).
 func SetVerbose(on bool) { obs.SetVerbose(on) }
+
+// Serving layer: allocation-as-a-service on top of the evaluator
+// (cmd/copaserve is the HTTP daemon built on this API).
+type (
+	// Server is a pooled, batching, caching allocation service with
+	// admission control and graceful drain (see internal/serve).
+	Server = serve.Server
+	// ServerConfig sizes the worker pool, queue, batch window and cache.
+	ServerConfig = serve.Config
+	// AllocateRequest names the world to evaluate: scenario, seed, mode,
+	// impairments and CSI age.
+	AllocateRequest = serve.Request
+	// AllocateResult is the selected outcome plus every strategy's score.
+	AllocateResult = serve.Result
+	// ServerStats is a point-in-time view of queue and cache occupancy.
+	ServerStats = serve.Stats
+)
+
+// Serving-layer sentinel errors, usable with errors.Is.
+var (
+	// ErrQueueFull is returned when admission control sheds a request.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrServerClosed is returned once the server is draining or closed.
+	ErrServerClosed = serve.ErrServerClosed
+	// ErrExpired is returned when a request's deadline passed in queue.
+	ErrExpired = serve.ErrExpired
+)
+
+// NewServer starts an allocation service with the given configuration;
+// zero fields take defaults from DefaultServerConfig.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+
+// DefaultServerConfig returns the serving defaults: one worker per CPU,
+// a 64-deep queue, a 200µs batch window and a 1024-entry result cache.
+func DefaultServerConfig() ServerConfig { return serve.DefaultConfig() }
 
 // Experiment entry points (one per paper artifact).
 var (

@@ -1,6 +1,8 @@
 package copa
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -119,11 +121,45 @@ func TestFacadeOverheadAndDCF(t *testing.T) {
 	}
 }
 
+func TestFacadeServer(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.Workers = 2
+	srv := NewServer(cfg)
+	defer srv.Close()
+
+	req := AllocateRequest{
+		Scenario:    Scenario1x1,
+		Seed:        5,
+		Mode:        ModeMax,
+		Impairments: DefaultImpairments(),
+	}
+	res, cached, err := srv.Allocate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || res.Selected.Aggregate() <= 0 {
+		t.Fatalf("first allocate: cached=%v aggregate=%g", cached, res.Selected.Aggregate())
+	}
+	if _, cached, err = srv.Allocate(context.Background(), req); err != nil || !cached {
+		t.Fatalf("repeat allocate: cached=%v err=%v", cached, err)
+	}
+	m := Metrics()
+	if m.Counters["copa.serve.requests"] == 0 || m.Counters["copa.serve.cache_hits"] == 0 {
+		t.Error("serve metrics not visible through copa.Metrics()")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, _, err := srv.Allocate(context.Background(), req); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-shutdown err = %v, want ErrServerClosed", err)
+	}
+}
+
 func TestFacadeExperimentHarness(t *testing.T) {
 	cfg := DefaultExperimentConfig(1)
 	cfg.Topologies = 3
 	cfg.SkipCOPAPlus = true
-	res, err := RunScenario(Scenario4x2, cfg)
+	res, err := RunScenario(context.Background(), Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package copa_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,7 +78,7 @@ func ExampleMetrics() {
 	cfg := copa.DefaultExperimentConfig(1)
 	cfg.Topologies = 2
 	cfg.SkipCOPAPlus = true
-	if _, err := copa.RunScenario(copa.Scenario4x2, cfg); err != nil {
+	if _, err := copa.RunScenario(context.Background(), copa.Scenario4x2, cfg); err != nil {
 		fmt.Println("error:", err)
 		return
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -18,7 +19,7 @@ func main() {
 	cfg.Topologies = 30
 	cfg.SkipCOPAPlus = true // keep the example snappy; copasim runs COPA+
 
-	res, err := copa.RunScenario(copa.Scenario4x2, cfg)
+	res, err := copa.RunScenario(context.Background(), copa.Scenario4x2, cfg)
 	if err != nil {
 		copa.Logger().Error("scenario failed", "scenario", "4x2", "seed", cfg.Seed, "err", err)
 		os.Exit(1)

@@ -1,0 +1,142 @@
+// Package cliflags holds the flag parsing every copa command shares:
+// scenario/mode/impairments name mapping, the conventional -seed flag,
+// and the -v/-debug-addr operational pair. The name→value mappings are
+// exported as plain parse functions too, because copaserve accepts the
+// same names over HTTP/JSON.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"copa/internal/channel"
+	"copa/internal/obs"
+	"copa/internal/strategy"
+)
+
+// ParseScenario maps a scenario name ("1x1", "4x2", "3x2") to its
+// antenna configuration.
+func ParseScenario(name string) (channel.Scenario, error) {
+	switch name {
+	case "1x1":
+		return channel.Scenario1x1, nil
+	case "4x2":
+		return channel.Scenario4x2, nil
+	case "3x2":
+		return channel.Scenario3x2, nil
+	}
+	return channel.Scenario{}, fmt.Errorf("unknown scenario %q (want 1x1, 4x2, 3x2)", name)
+}
+
+// ParseMode maps a selection-mode name ("max", "fair") to its constant.
+func ParseMode(name string) (strategy.Mode, error) {
+	switch name {
+	case "max":
+		return strategy.ModeMax, nil
+	case "fair":
+		return strategy.ModeFair, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want max or fair)", name)
+}
+
+// ParseImpairments maps an impairment-profile name to its calibration;
+// the empty string means "default".
+func ParseImpairments(name string) (channel.Impairments, error) {
+	switch name {
+	case "", "default":
+		return channel.DefaultImpairments(), nil
+	case "perfect":
+		return channel.PerfectHardware(), nil
+	}
+	return channel.Impairments{}, fmt.Errorf("unknown impairments %q (want default or perfect)", name)
+}
+
+// namedValue adapts a ParseX function to flag.Value so bad names fail
+// at flag-parse time with the parser's error message.
+type namedValue struct {
+	name  string
+	apply func(string) error
+}
+
+func (v *namedValue) String() string { return v.name }
+
+func (v *namedValue) Set(s string) error {
+	if err := v.apply(s); err != nil {
+		return err
+	}
+	v.name = s
+	return nil
+}
+
+// Scenario registers -scenario with the given default name and returns
+// the parsed destination. A bad default is a programming error.
+func Scenario(fs *flag.FlagSet, def, usage string) *channel.Scenario {
+	sc, err := ParseScenario(def)
+	if err != nil {
+		panic(err)
+	}
+	dst := &sc
+	fs.Var(&namedValue{name: def, apply: func(s string) error {
+		parsed, err := ParseScenario(s)
+		if err != nil {
+			return err
+		}
+		*dst = parsed
+		return nil
+	}}, "scenario", usage)
+	return dst
+}
+
+// Mode registers -mode ("max" or "fair") and returns the destination.
+func Mode(fs *flag.FlagSet, def, usage string) *strategy.Mode {
+	m, err := ParseMode(def)
+	if err != nil {
+		panic(err)
+	}
+	dst := &m
+	fs.Var(&namedValue{name: def, apply: func(s string) error {
+		parsed, err := ParseMode(s)
+		if err != nil {
+			return err
+		}
+		*dst = parsed
+		return nil
+	}}, "mode", usage)
+	return dst
+}
+
+// Seed registers the conventional -seed flag.
+func Seed(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "master seed (same seed → same world)")
+}
+
+// DebugFlags is the -v / -debug-addr operational pair.
+type DebugFlags struct {
+	Verbose bool
+	Addr    string
+}
+
+// Debug registers -v and -debug-addr on fs.
+func Debug(fs *flag.FlagSet) *DebugFlags {
+	d := &DebugFlags{}
+	fs.BoolVar(&d.Verbose, "v", false, "debug logging")
+	fs.StringVar(&d.Addr, "debug-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+	return d
+}
+
+// Start applies the verbosity setting and, when -debug-addr was given,
+// starts the obs debug server, announcing the bound address on stderr.
+// The returned shutdown function is never nil.
+func (d *DebugFlags) Start() (shutdown func(), err error) {
+	obs.SetVerbose(d.Verbose)
+	if d.Addr == "" {
+		return func() {}, nil
+	}
+	bound, stop, err := obs.ServeDebug(d.Addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
+	return stop, nil
+}

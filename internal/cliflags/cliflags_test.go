@@ -1,0 +1,87 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/strategy"
+)
+
+func TestParseScenario(t *testing.T) {
+	for name, want := range map[string]channel.Scenario{
+		"1x1": channel.Scenario1x1,
+		"4x2": channel.Scenario4x2,
+		"3x2": channel.Scenario3x2,
+	} {
+		got, err := ParseScenario(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScenario(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScenario("5x5"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("max"); err != nil || m != strategy.ModeMax {
+		t.Errorf("max: %v, %v", m, err)
+	}
+	if m, err := ParseMode("fair"); err != nil || m != strategy.ModeFair {
+		t.Errorf("fair: %v, %v", m, err)
+	}
+	if _, err := ParseMode("greedy"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestParseImpairments(t *testing.T) {
+	if imp, err := ParseImpairments(""); err != nil || imp != channel.DefaultImpairments() {
+		t.Errorf("empty: %v, %v", imp, err)
+	}
+	if imp, err := ParseImpairments("perfect"); err != nil || imp != channel.PerfectHardware() {
+		t.Errorf("perfect: %v, %v", imp, err)
+	}
+	if _, err := ParseImpairments("lab"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	sc := Scenario(fs, "4x2", "scenario")
+	mode := Mode(fs, "max", "mode")
+	seed := Seed(fs, 1)
+	if err := fs.Parse([]string{"-scenario", "1x1", "-mode", "fair", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if *sc != channel.Scenario1x1 || *mode != strategy.ModeFair || *seed != 7 {
+		t.Fatalf("parsed %v %v %d", *sc, *mode, *seed)
+	}
+
+	// Defaults survive when flags are absent, and usage shows the name.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	sc2 := Scenario(fs2, "3x2", "scenario")
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *sc2 != channel.Scenario3x2 {
+		t.Fatalf("default scenario = %v", *sc2)
+	}
+	if got := fs2.Lookup("scenario").DefValue; got != "3x2" {
+		t.Fatalf("DefValue = %q", got)
+	}
+
+	// Bad values are rejected at parse time.
+	fs3 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs3.SetOutput(discard{})
+	Scenario(fs3, "4x2", "scenario")
+	if err := fs3.Parse([]string{"-scenario", "9x9"}); err == nil {
+		t.Fatal("bad scenario passed flag parsing")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

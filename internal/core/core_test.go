@@ -42,6 +42,50 @@ func TestCSICacheFreshness(t *testing.T) {
 	}
 }
 
+func TestCSICacheBoundedUnderChurn(t *testing.T) {
+	c := NewCSICache(30 * time.Millisecond)
+	c.SetMaxEntries(16)
+	l := channel.NewLink(rng.New(1), 2, 4, 1)
+
+	// Churn: a new sender address every 1ms for far more puts than the
+	// bound. The table must never exceed its limit.
+	for i := 0; i < 400; i++ {
+		addr := mac.Addr{byte(i >> 8), byte(i)}
+		now := time.Duration(i) * time.Millisecond
+		c.Put(addr, l, now)
+		if c.Len() > 16 {
+			t.Fatalf("after put %d: len = %d exceeds bound 16", i, c.Len())
+		}
+	}
+
+	// Fresh churn (all entries inside coherence): the oldest fresh entry
+	// must be sacrificed, and the newest retained.
+	c2 := NewCSICache(time.Hour)
+	c2.SetMaxEntries(4)
+	for i := 0; i < 10; i++ {
+		c2.Put(mac.Addr{byte(i)}, l, time.Duration(i)*time.Millisecond)
+	}
+	if c2.Len() > 4 {
+		t.Fatalf("fresh churn: len = %d exceeds bound 4", c2.Len())
+	}
+	if _, ok := c2.Get(mac.Addr{9}, 10*time.Millisecond); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if _, ok := c2.Get(mac.Addr{0}, 10*time.Millisecond); ok {
+		t.Error("oldest entry survived past the bound")
+	}
+
+	// Refreshing an existing address at the bound must not evict others.
+	c3 := NewCSICache(time.Hour)
+	c3.SetMaxEntries(2)
+	c3.Put(mac.Addr{1}, l, 0)
+	c3.Put(mac.Addr{2}, l, time.Millisecond)
+	c3.Put(mac.Addr{2}, l, 2*time.Millisecond)
+	if _, ok := c3.Get(mac.Addr{1}, 3*time.Millisecond); !ok {
+		t.Error("refresh of an existing address evicted a neighbour")
+	}
+}
+
 func TestExchangeRequiresCSI(t *testing.T) {
 	p := newTestPair(t, 1, channel.Scenario4x2, strategy.ModeMax)
 	// No MeasureCSI yet: the follower cannot answer.

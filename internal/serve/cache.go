@@ -1,0 +1,62 @@
+package serve
+
+import "container/list"
+
+// lruCache is the bounded result cache: a map for O(1) lookup plus an
+// intrusive recency list. It is not self-locking — the Server guards it
+// with its own mutex so a cache hit costs one lock, one map lookup and
+// one list splice, none of which allocate (the zero-steady-state-alloc
+// contract BenchmarkServeAllocateCached pins).
+type lruCache struct {
+	max   int
+	ll    *list.List // front = most recently used
+	items map[key]*list.Element
+}
+
+// lruEntry is one cached result with its key for reverse eviction.
+type lruEntry struct {
+	k   key
+	res *Result
+}
+
+// newLRUCache returns a cache bounded to max entries; max < 0 disables
+// caching entirely (every get misses, every put is dropped).
+func newLRUCache(max int) *lruCache {
+	if max < 0 {
+		max = 0
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[key]*list.Element)}
+}
+
+// get returns the cached result for k, refreshing its recency.
+func (c *lruCache) get(k key) (*Result, bool) {
+	e, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).res, true
+}
+
+// put inserts or refreshes k, evicting the least recently used entry
+// when the bound is exceeded.
+func (c *lruCache) put(k key, res *Result) {
+	if c.max == 0 {
+		return
+	}
+	if e, ok := c.items[k]; ok {
+		e.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{k: k, res: res})
+	for len(c.items) > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).k)
+		mCacheEvictions.Inc()
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return len(c.items) }

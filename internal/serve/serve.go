@@ -1,0 +1,543 @@
+// Package serve turns the strategy evaluator into a concurrent
+// allocation-as-a-service layer: callers submit (scenario, seed, mode,
+// impairments, CSI age) requests and receive the strategy COPA's leader
+// would pick, with the heavy EvaluateAll pass behind a fixed evaluator
+// worker pool, request batching, a bounded LRU result cache with
+// in-flight deduplication, and load-shedding admission control.
+//
+// The design follows DESIGN §8's one-workspace-per-goroutine rule: each
+// worker owns one precoding.Workspace arena for its whole lifetime and
+// hands it to every evaluator it constructs, so steady-state serving
+// does not regrow arena chunks. Requests that arrive within the batch
+// window are coalesced per worker and grouped by their evaluation world
+// — two requests that differ only in selection mode (max vs fair) share
+// a single EvaluateAll pass.
+//
+// Admission is a bounded queue: when it is full the request is shed
+// immediately with ErrQueueFull (the HTTP front end maps this to 503),
+// and requests whose deadline expires while queued are dropped without
+// evaluation. Shutdown stops admission, drains queued work, and waits
+// for the workers within a caller-supplied deadline.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/precoding"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+// Sentinel errors the admission path returns. They are distinct so a
+// transport front end can map them to distinct statuses (503 for
+// shedding, 504 for deadline expiry).
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity:
+	// the request was shed without being evaluated.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrServerClosed is returned for requests arriving during or after
+	// shutdown.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrExpired is returned when a request's deadline passed while it
+	// waited in the queue.
+	ErrExpired = errors.New("serve: request deadline expired in queue")
+)
+
+// Config parameterizes a Server. The zero value of any field selects
+// the default documented on it.
+type Config struct {
+	// Workers is the number of evaluator goroutines, each owning one
+	// scratch arena (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// ErrQueueFull (default 64).
+	QueueDepth int
+	// BatchWindow is how long a worker waits for additional requests to
+	// coalesce into a batch after picking up the first (default 200µs;
+	// negative disables waiting — only already-queued requests coalesce).
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests one worker coalesces per batch
+	// (default 16; 1 disables batching).
+	MaxBatch int
+	// CacheEntries bounds the LRU result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultDeadline applies to requests whose context carries no
+	// deadline (default 2s).
+	DefaultDeadline time.Duration
+	// DrainTimeout bounds Close's graceful drain (default 5s).
+	DrainTimeout time.Duration
+	// Coherence is the CSI coherence time used to bucket request CSI
+	// ages (default strategy.DefaultCoherence).
+	Coherence time.Duration
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:         runtime.GOMAXPROCS(0),
+		QueueDepth:      64,
+		BatchWindow:     200 * time.Microsecond,
+		MaxBatch:        16,
+		CacheEntries:    1024,
+		DefaultDeadline: 2 * time.Second,
+		DrainTimeout:    5 * time.Second,
+		Coherence:       strategy.DefaultCoherence,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = d.BatchWindow
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = d.CacheEntries
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = d.DrainTimeout
+	}
+	if c.Coherence <= 0 {
+		c.Coherence = d.Coherence
+	}
+	return c
+}
+
+// Request identifies one allocation computation. Every field is part of
+// the result-cache key (CSIAge after bucketing), so two Requests that
+// compare equal after bucketing share one evaluation.
+type Request struct {
+	// Scenario is the antenna configuration to evaluate.
+	Scenario channel.Scenario
+	// Seed deterministically draws the deployment and its CSI noise —
+	// the same contract as copad: equal seeds mean equal worlds.
+	Seed int64
+	// Mode selects max-throughput or incentive-compatible selection.
+	Mode strategy.Mode
+	// Impairments model the radio hardware (zero value is NOT defaulted;
+	// pass channel.DefaultImpairments() for the calibrated model).
+	Impairments channel.Impairments
+	// CSIAge is how old the requester's channel state is. Ages are
+	// quantized into AgeBuckets buckets per coherence time, so nearby
+	// ages share a cache entry; older buckets see proportionally more
+	// staleness error.
+	CSIAge time.Duration
+	// MultiDecoder evaluates with per-subcarrier rate selection.
+	MultiDecoder bool
+}
+
+// Result is one served allocation decision. Results may be shared
+// between callers via the cache; treat them as immutable.
+type Result struct {
+	// Selected is the strategy COPA's decision rule picks for the
+	// request's mode.
+	Selected strategy.Outcome
+	// Outcomes holds every evaluated strategy, keyed by kind (shared
+	// across modes of the same evaluation — do not mutate).
+	Outcomes map[strategy.Kind]strategy.Outcome
+	// AgeBucket is the CSI age bucket the request quantized into.
+	AgeBucket int
+}
+
+// AgeBuckets is the number of CSI-age quantization steps per coherence
+// time. Ages at or beyond one coherence time all land in the last
+// bucket.
+const AgeBuckets = 4
+
+// ageBucket quantizes a CSI age against the coherence time.
+func ageBucket(age, coherence time.Duration) int {
+	if age <= 0 || coherence <= 0 {
+		return 0
+	}
+	b := int(int64(AgeBuckets) * int64(age) / int64(coherence))
+	if b > AgeBuckets {
+		b = AgeBuckets
+	}
+	return b
+}
+
+// agedImpairments scales the staleness error with the request's CSI age
+// bucket: the calibrated StalenessDB corresponds to CSI used within one
+// coherence time (bucket 0); older buckets see linearly more aging
+// error power. The map is deterministic per bucket, which is what makes
+// buckets cacheable.
+func agedImpairments(imp channel.Impairments, bucket int) channel.Impairments {
+	if bucket <= 0 {
+		return imp
+	}
+	frac := float64(bucket) / AgeBuckets
+	imp.StalenessDB = channel.LinearToDB(channel.DBToLinear(imp.StalenessDB) * (1 + 3*frac))
+	return imp
+}
+
+// key is the full result-cache identity of a request: everything that
+// changes the answer, with CSIAge already bucketed. It is a comparable
+// value type so cache lookups allocate nothing.
+type key struct {
+	scenario  channel.Scenario
+	seed      int64
+	mode      strategy.Mode
+	imp       channel.Impairments
+	ageBucket int
+	multi     bool
+}
+
+// evalKey is the evaluation identity: key minus the selection mode.
+// Calls sharing an evalKey share one EvaluateAll pass.
+type evalKey struct {
+	scenario  channel.Scenario
+	seed      int64
+	imp       channel.Impairments
+	ageBucket int
+	multi     bool
+}
+
+func (k key) eval() evalKey {
+	return evalKey{scenario: k.scenario, seed: k.seed, imp: k.imp, ageBucket: k.ageBucket, multi: k.multi}
+}
+
+// flight is one in-flight computation identical concurrent requests
+// wait on instead of recomputing (singleflight). res/err are published
+// before done is closed.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// call is one admitted request on its way through the queue.
+type call struct {
+	key      key
+	req      Request
+	f        *flight
+	deadline time.Time
+}
+
+// Server is the allocation service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	closed   bool
+	cache    *lruCache
+	inflight map[key]*flight
+
+	queue      chan *call
+	admitWG    sync.WaitGroup // in-progress queue sends, so close(queue) is safe
+	workerWG   sync.WaitGroup
+	closeQueue sync.Once
+}
+
+// New starts a Server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheEntries),
+		inflight: make(map[key]*flight),
+		queue:    make(chan *call, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	mWorkers.Set(float64(cfg.Workers))
+	return s
+}
+
+// keyFor normalizes a request into its cache key.
+func (s *Server) keyFor(req Request) key {
+	return key{
+		scenario:  req.Scenario,
+		seed:      req.Seed,
+		mode:      req.Mode,
+		imp:       req.Impairments,
+		ageBucket: ageBucket(req.CSIAge, s.cfg.Coherence),
+		multi:     req.MultiDecoder,
+	}
+}
+
+// Allocate serves one request: result cache first, then in-flight
+// deduplication, then the admission queue and the evaluator pool. The
+// returned bool reports whether the result was served without a
+// dedicated evaluation (cache hit or piggybacked on an identical
+// in-flight request). Cache hits are allocation-free.
+func (s *Server) Allocate(ctx context.Context, req Request) (*Result, bool, error) {
+	mRequests.Inc()
+	defer mRequestSeconds.Begin().End()
+	k := s.keyFor(req)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		mShedClosed.Inc()
+		return nil, false, ErrServerClosed
+	}
+	if res, ok := s.cache.get(k); ok {
+		s.mu.Unlock()
+		mCacheHits.Inc()
+		return res, true, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		mInflightDedup.Inc()
+		res, err := awaitFlight(ctx, f)
+		return res, true, err
+	}
+	mCacheMisses.Inc()
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.admitWG.Add(1)
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(s.cfg.DefaultDeadline)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	c := &call{key: k, req: req, f: f, deadline: deadline}
+	select {
+	case s.queue <- c:
+		s.admitWG.Done()
+		mQueueDepth.Set(float64(len(s.queue)))
+	default:
+		s.admitWG.Done()
+		mShedQueueFull.Inc()
+		s.finish(c, nil, ErrQueueFull)
+		return nil, false, ErrQueueFull
+	}
+	res, err := awaitFlight(ctx, f)
+	return res, false, err
+}
+
+// awaitFlight blocks until the flight resolves or the caller's context
+// ends. An abandoned flight still completes and populates the cache.
+func awaitFlight(ctx context.Context, f *flight) (*Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// finish resolves a call's flight: deregisters it, caches successful
+// results, and wakes every waiter.
+func (s *Server) finish(c *call, res *Result, err error) {
+	s.mu.Lock()
+	delete(s.inflight, c.key)
+	if err == nil && res != nil {
+		s.cache.put(c.key, res)
+	}
+	s.mu.Unlock()
+	c.f.res, c.f.err = res, err
+	close(c.f.done)
+}
+
+// worker is one evaluator goroutine. It owns one workspace arena for
+// its lifetime (DESIGN §8: a workspace is single-goroutine) and reuses
+// it across every evaluation it runs.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	ws := &precoding.Workspace{}
+	var batch []*call
+	for c := range s.queue {
+		batch = append(batch[:0], c)
+		if s.cfg.MaxBatch > 1 {
+			batch = s.coalesce(batch)
+		}
+		mQueueDepth.Set(float64(len(s.queue)))
+		s.runBatch(ws, batch)
+	}
+}
+
+// coalesce grows a batch with requests that are already queued or
+// arrive within the batch window, up to MaxBatch.
+func (s *Server) coalesce(batch []*call) []*call {
+	if s.cfg.BatchWindow <= 0 {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case c, ok := <-s.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, c)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	t := time.NewTimer(s.cfg.BatchWindow)
+	defer t.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case c, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, c)
+		case <-t.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch partitions a batch into evaluation groups (same world,
+// possibly different modes) and runs each group through one evaluator.
+func (s *Server) runBatch(ws *precoding.Workspace, batch []*call) {
+	mBatches.Inc()
+	mBatchSize.ObserveInt(len(batch))
+	var group []*call
+	for i, c := range batch {
+		if c == nil {
+			continue
+		}
+		group = append(group[:0], c)
+		ek := c.key.eval()
+		for j := i + 1; j < len(batch); j++ {
+			if batch[j] != nil && batch[j].key.eval() == ek {
+				group = append(group, batch[j])
+				batch[j] = nil
+			}
+		}
+		if len(group) > 1 {
+			mBatchShared.Add(uint64(len(group) - 1))
+		}
+		s.runGroup(ws, group)
+	}
+}
+
+// runGroup evaluates one world once and answers every live call in the
+// group from it. Calls whose deadline has already passed are shed
+// without evaluation.
+func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
+	now := time.Now()
+	live := group[:0]
+	for _, c := range group {
+		if now.After(c.deadline) {
+			mShedExpired.Inc()
+			s.finish(c, nil, ErrExpired)
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	sample := mEvaluateSeconds.Begin()
+	ws.Reset()
+	outs, err := evaluateWorld(ws, live[0].req, s.cfg.Coherence)
+	sample.End()
+	if err != nil {
+		mEvaluateErrors.Inc()
+		for _, c := range live {
+			s.finish(c, nil, err)
+		}
+		return
+	}
+	bucket := ageBucket(live[0].req.CSIAge, s.cfg.Coherence)
+	for _, c := range live {
+		s.finish(c, &Result{
+			Selected:  strategy.Select(c.req.Mode, outs),
+			Outcomes:  outs,
+			AgeBucket: bucket,
+		}, nil)
+	}
+}
+
+// evaluateWorld rebuilds the request's deterministic world — the same
+// seed-to-deployment contract cmd/copad uses — and runs every strategy
+// on it, carving all scratch from the worker's arena.
+func evaluateWorld(ws *precoding.Workspace, req Request, coherence time.Duration) (map[strategy.Kind]strategy.Outcome, error) {
+	imp := agedImpairments(req.Impairments, ageBucket(req.CSIAge, coherence))
+	src := rng.New(req.Seed)
+	dep := channel.NewDeployment(src.Split(1), req.Scenario)
+	ev := strategy.NewEvaluator(dep, imp, src.Split(2))
+	ev.MultiDecoder = req.MultiDecoder
+	ev.UseWorkspace(ws)
+	return ev.EvaluateAll()
+}
+
+// Stats is a point-in-time operational reading for health endpoints.
+type Stats struct {
+	Workers      int  `json:"workers"`
+	QueueDepth   int  `json:"queue_depth"`
+	QueueCap     int  `json:"queue_cap"`
+	CacheEntries int  `json:"cache_entries"`
+	CacheCap     int  `json:"cache_cap"`
+	Draining     bool `json:"draining"`
+}
+
+// Stats reports the server's current operational state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		CacheEntries: s.cache.len(),
+		CacheCap:     s.cache.max,
+		Draining:     s.closed,
+	}
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Shutdown stops admission (new requests fail with ErrServerClosed),
+// lets the workers drain every queued request, and waits for them to
+// exit. It returns ctx's error if the drain outlives the context;
+// queued work keeps draining in the background regardless.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		// All in-progress queue sends started before closed was set;
+		// once they finish the channel can be closed safely and the
+		// workers drain it to empty.
+		s.admitWG.Wait()
+		s.closeQueue.Do(func() { close(s.queue) })
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts down with the configured drain timeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/obs"
+	"copa/internal/rng"
+	"copa/internal/strategy"
+)
+
+// testConfig is a small, fast server for unit tests.
+func testConfig() Config {
+	return Config{
+		Workers:         2,
+		QueueDepth:      16,
+		BatchWindow:     -1, // no waiting: coalesce only what is queued
+		MaxBatch:        8,
+		CacheEntries:    64,
+		DefaultDeadline: 10 * time.Second,
+		DrainTimeout:    10 * time.Second,
+	}
+}
+
+// req1x1 is the cheap canonical request unit tests evaluate.
+func req1x1(seed int64, mode strategy.Mode) Request {
+	return Request{
+		Scenario:    channel.Scenario1x1,
+		Seed:        seed,
+		Mode:        mode,
+		Impairments: channel.DefaultImpairments(),
+	}
+}
+
+// serialReference computes the result the service must reproduce:
+// the same seed-to-world derivation, evaluated on a fresh private
+// evaluator.
+func serialReference(t *testing.T, req Request, coherence time.Duration) strategy.Outcome {
+	t.Helper()
+	imp := agedImpairments(req.Impairments, ageBucket(req.CSIAge, coherence))
+	src := rng.New(req.Seed)
+	dep := channel.NewDeployment(src.Split(1), req.Scenario)
+	ev := strategy.NewEvaluator(dep, imp, src.Split(2))
+	ev.MultiDecoder = req.MultiDecoder
+	outs, err := ev.EvaluateAll()
+	if err != nil {
+		t.Fatalf("serial EvaluateAll: %v", err)
+	}
+	return strategy.Select(req.Mode, outs)
+}
+
+func counter(name string) uint64 {
+	return obs.Default().Snapshot().Counters[name]
+}
+
+func TestAllocateCachesAndMatchesSerial(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+
+	req := req1x1(7, strategy.ModeMax)
+	res, cached, err := s.Allocate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if cached {
+		t.Fatal("first request reported cached")
+	}
+	want := serialReference(t, req, s.cfg.Coherence)
+	if res.Selected != want {
+		t.Fatalf("served outcome %+v != serial reference %+v", res.Selected, want)
+	}
+
+	res2, cached2, err := s.Allocate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("repeat Allocate: %v", err)
+	}
+	if !cached2 {
+		t.Fatal("identical repeat request was not served from cache")
+	}
+	if res2 != res {
+		t.Fatal("cache hit returned a different result object")
+	}
+
+	// The other selection mode is a different cache key but shares the
+	// same evaluation world: outcomes must agree value-for-value.
+	fair := req1x1(7, strategy.ModeFair)
+	resF, _, err := s.Allocate(context.Background(), fair)
+	if err != nil {
+		t.Fatalf("fair Allocate: %v", err)
+	}
+	if resF.Selected != serialReference(t, fair, s.cfg.Coherence) {
+		t.Fatal("fair-mode outcome diverges from serial reference")
+	}
+	for k, o := range res.Outcomes {
+		if resF.Outcomes[k] != o {
+			t.Fatalf("outcome %v differs between modes of the same world", k)
+		}
+	}
+}
+
+// TestPoolMatchesSerialReference hammers the evaluator pool from many
+// goroutines and requires every served outcome to equal a serially
+// computed reference bit for bit — under -race this is the arena
+// isolation proof for the one-workspace-per-worker design.
+func TestPoolMatchesSerialReference(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	cfg.CacheEntries = -1 // disable caching: force every request through the pool
+	cfg.QueueDepth = 256
+	s := New(cfg)
+	defer s.Close()
+
+	const seeds = 6
+	const rounds = 3
+	want := make(map[Request]strategy.Outcome)
+	var reqs []Request
+	for seed := int64(1); seed <= seeds; seed++ {
+		for _, mode := range []strategy.Mode{strategy.ModeMax, strategy.ModeFair} {
+			r := req1x1(seed, mode)
+			want[r] = serialReference(t, r, cfg.Coherence)
+			reqs = append(reqs, r)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reqs)*rounds)
+	for round := 0; round < rounds; round++ {
+		for _, r := range reqs {
+			wg.Add(1)
+			go func(r Request) {
+				defer wg.Done()
+				res, _, err := s.Allocate(context.Background(), r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Selected != want[r] {
+					errs <- errors.New("pooled outcome diverges from serial reference")
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.MaxBatch = 1
+	s := New(cfg)
+	defer s.Close()
+
+	before := counter("copa.serve.shed_queue_full")
+
+	// Occupy the worker with a slow (4x2) evaluation, then burst
+	// distinct cheap requests: with one worker and a one-slot queue most
+	// of the burst must shed.
+	blocker := Request{Scenario: channel.Scenario4x2, Seed: 99, Impairments: channel.DefaultImpairments()}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := s.Allocate(context.Background(), blocker); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the worker pick the blocker up
+
+	shed := 0
+	var burst sync.WaitGroup
+	var mu sync.Mutex
+	for i := int64(0); i < 24; i++ {
+		burst.Add(1)
+		go func(seed int64) {
+			defer burst.Done()
+			_, _, err := s.Allocate(context.Background(), req1x1(1000+seed, strategy.ModeMax))
+			if errors.Is(err, ErrQueueFull) {
+				mu.Lock()
+				shed++
+				mu.Unlock()
+			} else if err != nil {
+				t.Errorf("burst: %v", err)
+			}
+		}(i)
+	}
+	burst.Wait()
+	wg.Wait()
+	if shed == 0 {
+		t.Fatal("no request was shed with ErrQueueFull")
+	}
+	if got := counter("copa.serve.shed_queue_full"); got < before+uint64(shed) {
+		t.Fatalf("shed_queue_full counter %d did not advance by %d", got, shed)
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	cfg.DefaultDeadline = time.Millisecond
+	s := New(cfg)
+	defer s.Close()
+
+	before := counter("copa.serve.shed_expired")
+	blocker := Request{Scenario: channel.Scenario4x2, Seed: 99, Impairments: channel.DefaultImpairments()}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = s.Allocate(context.Background(), blocker)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Queued behind a >1ms evaluation with a 1ms deadline: must be shed
+	// as expired, not evaluated.
+	_, _, err := s.Allocate(context.Background(), req1x1(5, strategy.ModeMax))
+	wg.Wait()
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+	if got := counter("copa.serve.shed_expired"); got <= before {
+		t.Fatal("shed_expired counter did not advance")
+	}
+}
+
+func TestInflightDeduplication(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	s := New(cfg)
+	defer s.Close()
+
+	before := counter("copa.serve.inflight_dedup")
+	blocker := Request{Scenario: channel.Scenario4x2, Seed: 99, Impairments: channel.DefaultImpairments()}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = s.Allocate(context.Background(), blocker)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Two identical requests while the worker is busy: the second must
+	// piggyback on the first's flight, and both get the same object.
+	req := req1x1(42, strategy.ModeMax)
+	results := make([]*Result, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := s.Allocate(context.Background(), req)
+			if err != nil {
+				t.Errorf("dedup request: %v", err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if results[0] == nil || results[0] != results[1] {
+		t.Fatal("identical concurrent requests did not share one computation")
+	}
+	if got := counter("copa.serve.inflight_dedup"); got <= before {
+		t.Fatal("inflight_dedup counter did not advance")
+	}
+}
+
+func TestAgeBucketing(t *testing.T) {
+	coh := 40 * time.Millisecond
+	cases := []struct {
+		age  time.Duration
+		want int
+	}{
+		{0, 0}, {5 * time.Millisecond, 0},
+		{10 * time.Millisecond, 1}, {19 * time.Millisecond, 1},
+		{20 * time.Millisecond, 2}, {39 * time.Millisecond, 3},
+		{40 * time.Millisecond, 4}, {time.Hour, 4},
+	}
+	for _, c := range cases {
+		if got := ageBucket(c.age, coh); got != c.want {
+			t.Errorf("ageBucket(%v) = %d, want %d", c.age, got, c.want)
+		}
+	}
+
+	// Staleness error must grow monotonically with the bucket.
+	imp := channel.DefaultImpairments()
+	prev := imp.StalenessDB
+	for b := 1; b <= AgeBuckets; b++ {
+		got := agedImpairments(imp, b).StalenessDB
+		if got <= prev {
+			t.Fatalf("bucket %d staleness %f not above bucket %d's %f", b, got, b-1, prev)
+		}
+		prev = got
+	}
+
+	cfg := testConfig()
+	cfg.Coherence = coh
+	s := New(cfg)
+	defer s.Close()
+	base := req1x1(3, strategy.ModeMax)
+	base.CSIAge = 11 * time.Millisecond
+	if _, _, err := s.Allocate(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	sameBucket := base
+	sameBucket.CSIAge = 14 * time.Millisecond
+	if _, cached, err := s.Allocate(context.Background(), sameBucket); err != nil || !cached {
+		t.Fatalf("same-bucket age did not share the cache entry (cached=%v, err=%v)", cached, err)
+	}
+	otherBucket := base
+	otherBucket.CSIAge = 25 * time.Millisecond
+	if _, cached, err := s.Allocate(context.Background(), otherBucket); err != nil || cached {
+		t.Fatalf("different-bucket age wrongly shared the cache entry (cached=%v, err=%v)", cached, err)
+	}
+}
+
+func TestCacheBoundAndEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheEntries = 2
+	s := New(cfg)
+	defer s.Close()
+
+	before := counter("copa.serve.cache_evictions")
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, _, err := s.Allocate(context.Background(), req1x1(seed, strategy.ModeMax)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Stats().CacheEntries; n > 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", n)
+	}
+	if got := counter("copa.serve.cache_evictions"); got <= before {
+		t.Fatal("cache_evictions counter did not advance")
+	}
+	// Seed 1 was evicted: it must recompute (miss), seed 4 must hit.
+	if _, cached, _ := s.Allocate(context.Background(), req1x1(4, strategy.ModeMax)); !cached {
+		t.Fatal("most recent entry was not retained")
+	}
+	if _, cached, _ := s.Allocate(context.Background(), req1x1(1, strategy.ModeMax)); cached {
+		t.Fatal("evicted entry was wrongly served from cache")
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MaxBatch = 1
+	s := New(cfg)
+
+	// Queue several requests, then shut down: every admitted request
+	// must complete, and post-shutdown admission must be rejected.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for seed := int64(1); seed <= 4; seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, _, err := s.Allocate(context.Background(), req1x1(seed, strategy.ModeMax))
+			errs <- err
+		}(seed)
+	}
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("admitted request failed with %v", err)
+		}
+	}
+	if _, _, err := s.Allocate(context.Background(), req1x1(9, strategy.ModeMax)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("post-shutdown Allocate: err = %v, want ErrServerClosed", err)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestBatchSharesEvaluations verifies the amortization batching exists
+// for: requests that differ only in mode, queued together, share one
+// EvaluateAll pass.
+func TestBatchSharesEvaluations(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.MaxBatch = 8
+	cfg.CacheEntries = -1 // force both through the pool
+	s := New(cfg)
+	defer s.Close()
+
+	before := counter("copa.serve.batch_shared_evals")
+	blocker := Request{Scenario: channel.Scenario4x2, Seed: 99, Impairments: channel.DefaultImpairments()}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = s.Allocate(context.Background(), blocker)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// Same world, both modes, queued while the worker is busy: they end
+	// up in one batch and one evaluation group.
+	for _, mode := range []strategy.Mode{strategy.ModeMax, strategy.ModeFair} {
+		wg.Add(1)
+		go func(mode strategy.Mode) {
+			defer wg.Done()
+			if _, _, err := s.Allocate(context.Background(), req1x1(77, mode)); err != nil {
+				t.Errorf("batched request: %v", err)
+			}
+		}(mode)
+	}
+	wg.Wait()
+	if got := counter("copa.serve.batch_shared_evals"); got <= before {
+		t.Fatal("batch_shared_evals counter did not advance: modes were evaluated separately")
+	}
+}

@@ -108,6 +108,22 @@ func (ev *Evaluator) MeasureOnDeployment(dep *channel.Deployment, tx [2]*precodi
 	return ev.pairThroughputs(l, tx, concurrent, schemeOverhead, false)
 }
 
+// UseWorkspace installs a caller-owned scratch arena in place of the
+// lazily created private one, so a worker serving many evaluations can
+// reuse one arena's chunks across evaluators (internal/serve does this
+// per pool worker). DESIGN §8's rules carry over: the workspace — and
+// therefore the evaluator — stays single-goroutine, the arena must hold
+// no live carves when installed, and the evaluator owns it (including
+// resetting it) until the evaluator is discarded. It must be called
+// before the first evaluation.
+func (ev *Evaluator) UseWorkspace(ws *precoding.Workspace) {
+	if ev.ws != nil {
+		panic("strategy: UseWorkspace after evaluation started")
+	}
+	ev.ws = ws
+	ev.Alloc.Scratch = ws
+}
+
 // workspace returns the evaluator's scratch arena, creating it on first
 // use and wiring it into the power-allocation config so every layer of an
 // evaluation shares one arena.

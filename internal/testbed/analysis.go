@@ -1,6 +1,8 @@
 package testbed
 
 import (
+	"context"
+
 	"copa/internal/channel"
 	"copa/internal/rng"
 	"copa/internal/strategy"
@@ -25,8 +27,9 @@ type PredictionAccuracy struct {
 	MispickCostMean float64
 }
 
-// RunPredictionAccuracy evaluates the prediction gap over a 4×2 testbed.
-func RunPredictionAccuracy(seed int64, topologies int) (PredictionAccuracy, error) {
+// RunPredictionAccuracy evaluates the prediction gap over a 4×2
+// testbed. Cancelling ctx aborts between topologies.
+func RunPredictionAccuracy(ctx context.Context, seed int64, topologies int) (PredictionAccuracy, error) {
 	acc := PredictionAccuracy{
 		BiasByKind: make(map[strategy.Kind]float64),
 		MAEByKind:  make(map[strategy.Kind]float64),
@@ -36,6 +39,9 @@ func RunPredictionAccuracy(seed int64, topologies int) (PredictionAccuracy, erro
 	mispicks, mispickCostSum := 0, 0.0
 	n := 0
 	for t := 0; t < topologies; t++ {
+		if err := ctx.Err(); err != nil {
+			return acc, err
+		}
 		src := master.Split(uint64(t))
 		dep := channel.NewDeployment(src.Split(1), channel.Scenario4x2)
 		ev := strategy.NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
@@ -93,12 +99,13 @@ type Robustness struct {
 
 // RunSeedRobustness re-runs a scenario with `seeds` different master
 // seeds and summarizes the spread of each scheme's mean throughput.
-func RunSeedRobustness(sc channel.Scenario, base Config, seeds int) (Robustness, error) {
+// Cancelling ctx aborts between seeds.
+func RunSeedRobustness(ctx context.Context, sc channel.Scenario, base Config, seeds int) (Robustness, error) {
 	perScheme := make(map[string][]float64)
 	for s := 0; s < seeds; s++ {
 		cfg := base
 		cfg.Seed = base.Seed + int64(s)*1000
-		res, err := RunScenario(sc, cfg)
+		res, err := RunScenario(ctx, sc, cfg)
 		if err != nil {
 			return Robustness{}, err
 		}

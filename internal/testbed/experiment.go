@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -119,7 +120,10 @@ func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map
 
 // RunScenario evaluates all schemes over a population of topologies,
 // in parallel across topologies, deterministically per (seed, scenario).
-func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
+// Cancelling ctx aborts the run between topologies and returns ctx.Err();
+// results computed so far are discarded (a partial population would bias
+// every aggregate).
+func RunScenario(ctx context.Context, sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
 	span := obs.Trace("testbed.scenario")
 	defer span.End()
 	defer mScenarioSeconds.Begin().End()
@@ -156,8 +160,17 @@ func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
 		wg.Add(1)
 		go func(i int, dep *channel.Deployment) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = one{idx: i, err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				results[i] = one{idx: i, err: err}
+				return
+			}
 			out, err := topologyOutcomes(dep, cfg, srcs[i])
 			results[i] = one{idx: i, out: out, err: err}
 			obs.Logger().Debug("topology evaluated",
@@ -165,6 +178,9 @@ func RunScenario(sc channel.Scenario, cfg Config) (*ScenarioResult, error) {
 		}(i, dep)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err

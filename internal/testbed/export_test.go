@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -78,7 +79,7 @@ func TestExportScenarioCDF(t *testing.T) {
 	cfg := DefaultConfig(2)
 	cfg.Topologies = 3
 	cfg.SkipCOPAPlus = true
-	res, err := RunScenario(channel.Scenario1x1, cfg)
+	res, err := RunScenario(context.Background(), channel.Scenario1x1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

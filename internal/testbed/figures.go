@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"time"
 
 	"copa/internal/channel"
@@ -337,8 +338,9 @@ var Figure14Schemes = []string{
 }
 
 // RunFigure14 evaluates the three scenarios with and without
-// per-subcarrier rate selection.
-func RunFigure14(seed int64, topologies int) (Figure14, error) {
+// per-subcarrier rate selection. Cancelling ctx aborts between scenario
+// runs.
+func RunFigure14(ctx context.Context, seed int64, topologies int) (Figure14, error) {
 	defer obs.Trace("testbed.figure14").End()
 	defer mFigureSeconds.Begin().End()
 	fig := Figure14{Improvement: make(map[string]map[string]float64)}
@@ -346,12 +348,12 @@ func RunFigure14(seed int64, topologies int) (Figure14, error) {
 		cfg := DefaultConfig(seed)
 		cfg.Topologies = topologies
 		cfg.SkipCOPAPlus = true
-		single, err := RunScenario(sc, cfg)
+		single, err := RunScenario(ctx, sc, cfg)
 		if err != nil {
 			return fig, err
 		}
 		cfg.MultiDecoder = true
-		multi, err := RunScenario(sc, cfg)
+		multi, err := RunScenario(ctx, sc, cfg)
 		if err != nil {
 			return fig, err
 		}

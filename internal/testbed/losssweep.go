@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -84,8 +85,9 @@ func (s *LossSweep) MeanCSMABps() float64 { return Mean(s.CSMABps) }
 // of sounding, a message-driven ITS exchange over a seeded Faulty medium,
 // and throughput measurement on the true channels; fallback rounds score
 // as plain CSMA, so the curve shows exactly what the retry/fallback
-// machinery salvages.
-func RunLossSweep(sc channel.Scenario, cfg LossSweepConfig) (*LossSweep, error) {
+// machinery salvages. Cancelling ctx aborts the sweep between topology
+// cells and returns ctx.Err().
+func RunLossSweep(ctx context.Context, sc channel.Scenario, cfg LossSweepConfig) (*LossSweep, error) {
 	span := obs.Trace("testbed.losssweep")
 	defer span.End()
 	if cfg.Topologies < 1 || cfg.Rounds < 1 {
@@ -101,6 +103,9 @@ func RunLossSweep(sc channel.Scenario, cfg LossSweepConfig) (*LossSweep, error) 
 		pt := LossPoint{Loss: loss, PerTopologyBps: make([]float64, cfg.Topologies)}
 		exchanges := 0
 		for t, dep := range deps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Identically seeded pair per rate: every rate sees the same
 			// channels, CSI noise, and leader elections — only the medium
 			// differs.

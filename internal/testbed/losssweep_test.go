@@ -1,10 +1,21 @@
 package testbed
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"copa/internal/channel"
 )
+
+func TestLossSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultLossSweepConfig(1)
+	if _, err := RunLossSweep(ctx, channel.Scenario4x2, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
 
 // TestLossSweepGracefulDegradation is the tentpole acceptance check: as
 // control-frame loss rises the realized aggregate may fall toward, but
@@ -20,7 +31,7 @@ func TestLossSweepGracefulDegradation(t *testing.T) {
 		Rounds:      4,
 		Impairments: channel.DefaultImpairments(),
 	}
-	sweep, err := RunLossSweep(channel.Scenario4x2, cfg)
+	sweep, err := RunLossSweep(context.Background(), channel.Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +92,7 @@ func TestLossSweepBurstyExport(t *testing.T) {
 		Rounds:      3,
 		Impairments: channel.DefaultImpairments(),
 	}
-	sweep, err := RunLossSweep(channel.Scenario1x1, cfg)
+	sweep, err := RunLossSweep(context.Background(), channel.Scenario1x1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package testbed
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"copa/internal/channel"
 	"copa/internal/ofdm"
@@ -82,7 +85,7 @@ func TestRunScenarioSmoke4x2(t *testing.T) {
 	cfg := DefaultConfig(3)
 	cfg.Topologies = 6
 	cfg.SkipCOPAPlus = true
-	res, err := RunScenario(channel.Scenario4x2, cfg)
+	res, err := RunScenario(context.Background(), channel.Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,15 +107,41 @@ func TestRunScenarioSmoke4x2(t *testing.T) {
 	}
 }
 
+func TestRunScenarioCancelled(t *testing.T) {
+	// Already-cancelled context: the run must abort with ctx.Err()
+	// without evaluating the population.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig(3)
+	cfg.Topologies = 64
+	cfg.SkipCOPAPlus = true
+	start := time.Now()
+	if _, err := RunScenario(ctx, channel.Scenario4x2, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 64 4x2 topologies take tens of seconds; an aborted run must not.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run still took %v", elapsed)
+	}
+
+	// Deadline mid-run: same contract via the other cancellation path.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer dcancel()
+	<-dctx.Done()
+	if _, err := RunScenario(dctx, channel.Scenario4x2, cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestRunScenarioDeterministic(t *testing.T) {
 	cfg := DefaultConfig(9)
 	cfg.Topologies = 3
 	cfg.SkipCOPAPlus = true
-	a, err := RunScenario(channel.Scenario1x1, cfg)
+	a, err := RunScenario(context.Background(), channel.Scenario1x1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunScenario(channel.Scenario1x1, cfg)
+	b, err := RunScenario(context.Background(), channel.Scenario1x1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +158,7 @@ func TestRunScenario1x1HasNoNulling(t *testing.T) {
 	cfg := DefaultConfig(5)
 	cfg.Topologies = 3
 	cfg.SkipCOPAPlus = true
-	res, err := RunScenario(channel.Scenario1x1, cfg)
+	res, err := RunScenario(context.Background(), channel.Scenario1x1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +324,7 @@ func TestFigure14MultiDecoderHelps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	f, err := RunFigure14(1, 6)
+	f, err := RunFigure14(context.Background(), 1, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,14 +353,14 @@ func BenchmarkTopologyPipeline4x2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		if _, err := RunScenario(channel.Scenario4x2, cfg); err != nil {
+		if _, err := RunScenario(context.Background(), channel.Scenario4x2, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func TestPredictionAccuracy(t *testing.T) {
-	acc, err := RunPredictionAccuracy(1, 8)
+	acc, err := RunPredictionAccuracy(context.Background(), 1, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +389,7 @@ func TestSeedRobustness(t *testing.T) {
 	cfg := DefaultConfig(1)
 	cfg.Topologies = 8
 	cfg.SkipCOPAPlus = true
-	rob, err := RunSeedRobustness(channel.Scenario4x2, cfg, 3)
+	rob, err := RunSeedRobustness(context.Background(), channel.Scenario4x2, cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,12 +415,12 @@ func TestWeakInterferenceShrinksFairnessGap(t *testing.T) {
 	cfg := DefaultConfig(11)
 	cfg.Topologies = 10
 	cfg.SkipCOPAPlus = true
-	strong, err := RunScenario(channel.Scenario4x2, cfg)
+	strong, err := RunScenario(context.Background(), channel.Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.InterferenceDeltaDB = -10
-	weak, err := RunScenario(channel.Scenario4x2, cfg)
+	weak, err := RunScenario(context.Background(), channel.Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +451,7 @@ func TestPerfectHardwareMakesNullingDominant(t *testing.T) {
 	cfg.Topologies = 8
 	cfg.SkipCOPAPlus = true
 	cfg.Impairments = channel.PerfectHardware()
-	res, err := RunScenario(channel.Scenario4x2, cfg)
+	res, err := RunScenario(context.Background(), channel.Scenario4x2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+package copa
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeAllocateCold times a full served evaluation: every
+// iteration asks for a world the cache has never seen, so the request
+// goes through admission, the worker pool, and one EvaluateAll on the
+// worker's reused arena. Allocations per op are deterministic (the pool
+// deliberately avoids sync.Pool) and gated by copabench.
+func BenchmarkServeAllocateCold(b *testing.B) {
+	cfg := DefaultServerConfig()
+	cfg.Workers = 1 // serial: keeps allocs/op independent of scheduling
+	cfg.CacheEntries = -1
+	srv := NewServer(cfg)
+	defer srv.Close()
+	req := AllocateRequest{
+		Scenario:    Scenario1x1,
+		Mode:        ModeMax,
+		Impairments: DefaultImpairments(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Seed = int64(i)
+		if _, _, err := srv.Allocate(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkServeAllocateCached times the steady-state hot path the
+// serving layer is built around: a warm cache hit must complete with
+// ZERO allocations per request — the acceptance gate for the zero
+// steady-state allocation claim in DESIGN §9.
+func BenchmarkServeAllocateCached(b *testing.B) {
+	cfg := DefaultServerConfig()
+	cfg.Coherence = 30 * time.Millisecond
+	srv := NewServer(cfg)
+	defer srv.Close()
+	req := AllocateRequest{
+		Scenario:    Scenario4x2,
+		Seed:        7,
+		Mode:        ModeMax,
+		Impairments: DefaultImpairments(),
+	}
+	if _, _, err := srv.Allocate(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	// One priming hit, then collect the setup garbage: a GC cycle that
+	// starts mid-loop would bill its own runtime allocations to the
+	// steady state and mask the zero-allocation contract.
+	if _, cached, err := srv.Allocate(context.Background(), req); err != nil || !cached {
+		b.Fatalf("priming hit: cached=%v err=%v", cached, err)
+	}
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, cached, err := srv.Allocate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached || res == nil {
+			b.Fatal("warm request missed the cache")
+		}
+	}
+	// The timer keeps running until the function returns, so the pool
+	// teardown must not be billed to the measured steady state.
+	b.StopTimer()
+}
