@@ -6,11 +6,11 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate|CampaignUnit
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
-.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest clean
+.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke clean
 
 all: build test
 
@@ -71,6 +71,17 @@ serve:
 # (mixed cache hits/misses, 503 shedding, SIGTERM drain) verbosely.
 loadtest:
 	$(GO) test -v -run 'TestLoad|TestQueueFull|TestSigterm' ./cmd/copaserve
+
+# campaign runs a checkpointed sweep with the paper's population;
+# override CAMPAIGN_FLAGS to scale it up (-topologies 100000).
+CAMPAIGN_FLAGS ?= -topologies 30 -checkpoint campaign.jsonl -out campaign.json
+campaign:
+	$(GO) run ./cmd/copacampaign $(CAMPAIGN_FLAGS)
+
+# campaign-smoke is the CI sweep gate: the engine's kill-at-unit-K +
+# resume golden tests and the CLI end-to-end suite, under -race.
+campaign-smoke:
+	$(GO) test -race -run 'TestRun|TestCampaign' ./internal/campaign ./cmd/copacampaign ./internal/testbed
 
 clean:
 	$(GO) clean ./...

@@ -41,6 +41,7 @@ func run(args []string) int {
 	lossRate := fs.Float64("loss", 0, "-fig loss: evaluate this single control-frame loss rate instead of the 0–30% sweep")
 	burst := fs.Float64("burst", 1, "-fig loss: mean loss-burst length in frames (>1 switches to Gilbert–Elliott bursts)")
 	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
+	workers := fs.Int("workers", 0, "bound parallel topology evaluation (0 = GOMAXPROCS)")
 	outDir := fs.String("out", "", "directory to also write CSV data files into")
 	dbg := cliflags.Debug(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -53,6 +54,7 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	csvDir = *outDir
+	maxParallel = *workers
 	logger := obs.Logger()
 	stopDebug, err := dbg.Start()
 	if err != nil {
@@ -156,6 +158,11 @@ func run(args []string) int {
 
 // csvDir, when non-empty, receives CSV exports of every figure printed.
 var csvDir string
+
+// maxParallel bounds scenario-harness workers (0 = GOMAXPROCS). Worker
+// count never changes results — evaluation streams are stateless per
+// topology — only wall time.
+var maxParallel int
 
 func maybeExport(err error) {
 	if err != nil {
@@ -261,6 +268,7 @@ func printScenario(ctx context.Context, name string, sc channel.Scenario, seed i
 	cfg.Topologies = topologies
 	cfg.InterferenceDeltaDB = deltaDB
 	cfg.SkipCOPAPlus = skipPlus
+	cfg.MaxParallel = maxParallel
 	res, err := testbed.RunScenario(ctx, sc, cfg)
 	if err != nil {
 		return err
@@ -399,6 +407,7 @@ func printHeadlines(ctx context.Context, seed int64, topologies int) error {
 	cfg := testbed.DefaultConfig(seed)
 	cfg.Topologies = topologies
 	cfg.SkipCOPAPlus = true
+	cfg.MaxParallel = maxParallel
 	res, err := testbed.RunScenario(ctx, channel.Scenario4x2, cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"copa/internal/obs"
+	"copa/internal/precoding"
+)
+
+// Options configure one engine run without affecting its results:
+// worker count, checkpointing, and resume change only wall time and
+// durability, never a byte of the final aggregates.
+type Options struct {
+	// Workers is the number of evaluator goroutines, each owning one
+	// scratch arena (default: GOMAXPROCS).
+	Workers int
+	// Checkpoint is the JSONL journal path; empty disables
+	// checkpointing.
+	Checkpoint string
+	// Resume loads an existing checkpoint instead of failing on it.
+	Resume bool
+	// OnProgress, when non-nil, is called from the collector after
+	// every completed unit (for CLI progress lines; obs metrics are
+	// always maintained).
+	OnProgress func(done, total int)
+}
+
+// Run executes a campaign to completion: it shards the spec's scenario
+// space into units, skips units already journaled in the checkpoint,
+// fans the rest out over the worker pool, journals each as it
+// completes, and merges everything in ascending unit order. Cancelling
+// ctx stops the engine promptly — in-flight units abort unjournaled,
+// completed ones are already durable — and returns ctx.Err(); a later
+// Resume run recomputes only what is missing and returns aggregates
+// byte-identical to an uninterrupted run.
+func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	span := obs.Trace("campaign.run")
+	defer span.End()
+	mRuns.Inc()
+
+	total := spec.Units()
+	results := make([]*unitResult, total)
+	var jnl *journal
+	if opt.Checkpoint != "" {
+		var done map[int]*unitResult
+		var err error
+		jnl, done, err = openJournal(opt.Checkpoint, spec, opt.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.close()
+		for u, res := range done {
+			results[u] = res
+		}
+		mUnitsResumed.Add(uint64(len(done)))
+	}
+
+	// The feeder owns the unit queue; workers pull units, evaluate,
+	// and push onto out; the collector (this goroutine) journals and
+	// stores. A worker error or ctx cancellation closes stop, which
+	// ends the feeder — workers then drain the closed feed and exit,
+	// closing out via the WaitGroup.
+	feed := make(chan int)
+	out := make(chan *unitResult)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort()
+	}
+	checkCancel := func() error {
+		select {
+		case <-stop:
+			return context.Canceled
+		default:
+			return ctx.Err()
+		}
+	}
+
+	go func() { // feeder
+		defer close(feed)
+		for u := 0; u < total; u++ {
+			if results[u] != nil {
+				continue // already journaled by a prior run
+			}
+			select {
+			case feed <- u:
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() { // worker: one arena for its whole lifetime
+			defer wg.Done()
+			ws := &precoding.Workspace{}
+			for u := range feed {
+				mUnitsInFlight.Add(1)
+				sample := mUnitSeconds.Begin()
+				res, err := evalUnit(spec, u, ws, checkCancel)
+				sample.End()
+				mUnitsInFlight.Add(-1)
+				if err != nil {
+					if err != context.Canceled && ctx.Err() == nil {
+						mUnitsFailed.Inc()
+						fail(err)
+					}
+					continue
+				}
+				select {
+				case out <- res:
+				case <-stop:
+					// Collector gone (error path); drop the unit.
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Collector: journal and store every unit that finishes, including
+	// ones completing after cancellation — work already paid for
+	// becomes durable, which is what makes kill-and-resume cheap.
+	started := time.Now()
+	completed := 0
+	for u := range total {
+		if results[u] != nil {
+			completed++
+		}
+	}
+	for res := range out {
+		results[res.Unit] = res
+		completed++
+		mUnitsDone.Inc()
+		if elapsed := time.Since(started).Seconds(); elapsed > 0 {
+			mUnitsPerSec.Set(float64(completed) / elapsed)
+		}
+		if jnl != nil {
+			if err := jnl.record(res); err != nil {
+				fail(fmt.Errorf("campaign: journaling unit %d: %w", res.Unit, err))
+			}
+			mCheckpointUnix.Set(float64(time.Now().Unix()))
+		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(completed, total)
+		}
+	}
+	abort() // release any worker blocked on out after an error
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if completed != total {
+		return nil, fmt.Errorf("campaign: %d/%d units completed", completed, total)
+	}
+	return finalize(spec, results), nil
+}
+
+// finalize merges per-unit aggregates in ascending unit order — the
+// one fixed order that makes the floating-point Moments merge, and
+// therefore the serialized Result, byte-identical across worker
+// counts, interleavings, and resumes.
+func finalize(spec Spec, results []*unitResult) *Result {
+	res := &Result{Spec: spec, Units: len(results), Columns: make(map[string]*Column)}
+	for _, ur := range results {
+		for _, name := range sortedColNames(ur.Columns) {
+			c, ok := res.Columns[name]
+			if !ok {
+				c = NewColumn()
+				res.Columns[name] = c
+			}
+			c.Merge(ur.Columns[name])
+		}
+	}
+	return res
+}
+
+func sortedColNames(cols map[string]*Column) []string {
+	names := make([]string, 0, len(cols))
+	for n := range cols {
+		names = append(names, n)
+	}
+	// Insertion sort: column sets are small (a handful of schemes).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

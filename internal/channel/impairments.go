@@ -56,6 +56,20 @@ func PerfectHardware() Impairments {
 	return Impairments{CSIErrorDB: -300, TxEVMDB: -300, StalenessDB: -300}
 }
 
+// Aged returns the impairment set as seen with CSI that is frac of a
+// coherence time old (frac = 0 is a fresh measurement, 1 a full coherence
+// time): the staleness error power grows linearly, tripling at frac = 1.
+// The map is deterministic, which is what makes quantized CSI ages
+// cacheable (internal/serve) and sweepable (internal/campaign).
+func (imp Impairments) Aged(frac float64) Impairments {
+	if frac <= 0 {
+		return imp
+	}
+	out := imp
+	out.StalenessDB = LinearToDB(DBToLinear(imp.StalenessDB) * (1 + 3*frac))
+	return out
+}
+
 // Stale returns the impairment set as seen at transmission time: the CSI
 // error grows to include the channel evolution since measurement.
 func (imp Impairments) Stale() Impairments {

@@ -173,14 +173,22 @@ func (d *Deployment) ScaleInterference(deltaDB float64) *Deployment {
 	return &out
 }
 
+// DeploymentAt draws topology i of the testbed identified by (seed,
+// scenario). The substream is derived statelessly from (seed, i), so any
+// topology can be materialized in isolation — a sharded campaign evaluating
+// topology i on any worker, in any order, sees exactly the deployment that
+// GenerateTestbed(seed, sc, n)[i] would return.
+func DeploymentAt(seed int64, sc Scenario, i int) *Deployment {
+	return NewDeployment(rng.NewSub(seed, uint64(i)), sc)
+}
+
 // GenerateTestbed draws n independent topologies for a scenario, seeded
 // deterministically: the same (seed, scenario, n) always yields the same
 // testbed, like re-visiting the same building.
 func GenerateTestbed(seed int64, sc Scenario, n int) []*Deployment {
-	master := rng.New(seed)
 	out := make([]*Deployment, n)
 	for i := range out {
-		out[i] = NewDeployment(master.Split(uint64(i)), sc)
+		out[i] = DeploymentAt(seed, sc, i)
 	}
 	return out
 }

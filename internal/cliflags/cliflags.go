@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"copa/internal/channel"
 	"copa/internal/obs"
@@ -109,6 +110,69 @@ func Mode(fs *flag.FlagSet, def, usage string) *strategy.Mode {
 // Seed registers the conventional -seed flag.
 func Seed(fs *flag.FlagSet, def int64) *int64 {
 	return fs.Int64("seed", def, "master seed (same seed → same world)")
+}
+
+// CampaignFlags is the sharding/checkpointing flag set campaign-scale
+// commands share.
+type CampaignFlags struct {
+	// Shards is the number of work units per grid cell (0 picks a
+	// schedulable default from the topology count).
+	Shards int
+	// Workers is the evaluator pool size (defaults to GOMAXPROCS).
+	Workers int
+	// Checkpoint is the JSONL journal path ("" disables).
+	Checkpoint string
+	// Resume continues an existing checkpoint instead of failing on it.
+	Resume bool
+}
+
+// Campaign registers -shards, -workers, -checkpoint and -resume on fs.
+func Campaign(fs *flag.FlagSet) *CampaignFlags {
+	c := &CampaignFlags{}
+	fs.IntVar(&c.Shards, "shards", 0, "work units per grid cell (0 = auto from topology count)")
+	fs.IntVar(&c.Workers, "workers", runtime.GOMAXPROCS(0), "evaluator goroutines")
+	fs.StringVar(&c.Checkpoint, "checkpoint", "", "JSONL checkpoint journal path (enables kill/resume)")
+	fs.BoolVar(&c.Resume, "resume", false, "resume the -checkpoint journal instead of failing if it exists")
+	return c
+}
+
+// Validate rejects flag combinations the engine cannot honor, against
+// the campaign's topology count.
+func (c *CampaignFlags) Validate(topologies int) error {
+	if topologies < 1 {
+		return fmt.Errorf("-topologies must be ≥ 1 (got %d)", topologies)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1 (got %d)", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 1, or 0 for auto (got %d)", c.Shards)
+	}
+	if c.Shards > topologies {
+		return fmt.Errorf("-shards (%d) must not exceed -topologies (%d)", c.Shards, topologies)
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return nil
+}
+
+// EffectiveShards resolves the shard count: an explicit value wins;
+// auto targets ~4 topologies per shard, clamped to [1, 256] and the
+// topology count, so checkpoints stay fine-grained without the journal
+// dominating tiny runs.
+func (c *CampaignFlags) EffectiveShards(topologies int) int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	s := topologies / 4
+	if s < 1 {
+		s = 1
+	}
+	if s > 256 {
+		s = 256
+	}
+	return s
 }
 
 // DebugFlags is the -v / -debug-addr operational pair.

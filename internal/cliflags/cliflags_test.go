@@ -85,3 +85,70 @@ func TestFlagRegistration(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestCampaignFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf := Campaign(fs)
+	if err := fs.Parse([]string{"-shards", "16", "-workers", "3", "-checkpoint", "c.jsonl", "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	if cf.Shards != 16 || cf.Workers != 3 || cf.Checkpoint != "c.jsonl" || !cf.Resume {
+		t.Fatalf("parsed %+v", cf)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	cf2 := Campaign(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cf2.Shards != 0 || cf2.Workers < 1 || cf2.Checkpoint != "" || cf2.Resume {
+		t.Fatalf("defaults %+v", cf2)
+	}
+}
+
+func TestCampaignValidate(t *testing.T) {
+	cases := []struct {
+		name       string
+		flags      CampaignFlags
+		topologies int
+		wantErr    bool
+	}{
+		{"defaults", CampaignFlags{Workers: 4}, 30, false},
+		{"explicit shards", CampaignFlags{Shards: 8, Workers: 1}, 30, false},
+		{"resume with checkpoint", CampaignFlags{Workers: 1, Checkpoint: "c", Resume: true}, 30, false},
+		{"zero topologies", CampaignFlags{Workers: 4}, 0, true},
+		{"negative topologies", CampaignFlags{Workers: 4}, -1, true},
+		{"zero workers", CampaignFlags{Workers: 0}, 30, true},
+		{"negative workers", CampaignFlags{Workers: -2}, 30, true},
+		{"negative shards", CampaignFlags{Shards: -1, Workers: 4}, 30, true},
+		{"shards exceed topologies", CampaignFlags{Shards: 31, Workers: 4}, 30, true},
+		{"resume without checkpoint", CampaignFlags{Workers: 4, Resume: true}, 30, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.flags.Validate(tc.topologies)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate(%d) = %v, wantErr=%v", tc.topologies, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct {
+		shards, topologies, want int
+	}{
+		{8, 30, 8},       // explicit wins
+		{0, 1, 1},        // tiny runs stay one shard
+		{0, 3, 1},        // never zero
+		{0, 30, 7},       // ~4 topologies per shard
+		{0, 100, 25},     //
+		{0, 100000, 256}, // clamped so the journal stays small
+	}
+	for _, tc := range cases {
+		cf := CampaignFlags{Shards: tc.shards}
+		if got := cf.EffectiveShards(tc.topologies); got != tc.want {
+			t.Errorf("EffectiveShards(shards=%d, topologies=%d) = %d, want %d", tc.shards, tc.topologies, got, tc.want)
+		}
+	}
+}

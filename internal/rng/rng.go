@@ -32,9 +32,38 @@ func splitMix64(x uint64) uint64 {
 // Split derives an independent child stream identified by tag. Streams with
 // distinct tags are statistically independent of each other and of the
 // parent's future output.
+//
+// Split draws from the parent, so the child depends on how many Splits
+// preceded it — fine inside one experiment, but unusable when work is
+// sharded across workers that must agree on substreams without sharing a
+// parent. Use Derive/NewSub for that.
 func (s *Source) Split(tag uint64) *Source {
 	child := splitMix64(uint64(s.r.Int63()) ^ splitMix64(tag))
 	return New(int64(child))
+}
+
+// Derive maps (seed, path...) to a child seed with a stateless SplitMix64
+// chain: the result depends only on the seed and the path elements, never
+// on call order or on any other stream's consumption. Two distinct paths
+// from the same seed give statistically independent seeds, so sharded or
+// resumed work derives bit-identical substreams regardless of which
+// worker computes them, in what order, or after how many restarts. Path
+// elements compose left to right — Derive(s, a, b) == Derive(Derive(s, a), b)
+// — and each step mixes only the path element before folding it in, so the
+// map is asymmetric in (seed, element): Derive(a, b) differs from
+// Derive(b, a).
+func Derive(seed int64, path ...uint64) int64 {
+	x := uint64(seed)
+	for _, p := range path {
+		x = splitMix64(x ^ splitMix64(p))
+	}
+	return int64(x)
+}
+
+// NewSub returns a Source seeded with Derive(seed, path...) — the
+// stateless counterpart of New(seed) followed by Splits.
+func NewSub(seed int64, path ...uint64) *Source {
+	return New(Derive(seed, path...))
 }
 
 // Float64 returns a uniform sample in [0, 1).

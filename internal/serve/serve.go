@@ -177,15 +177,9 @@ func ageBucket(age, coherence time.Duration) int {
 // agedImpairments scales the staleness error with the request's CSI age
 // bucket: the calibrated StalenessDB corresponds to CSI used within one
 // coherence time (bucket 0); older buckets see linearly more aging
-// error power. The map is deterministic per bucket, which is what makes
-// buckets cacheable.
+// error power (channel.Impairments.Aged — the same map campaign sweeps).
 func agedImpairments(imp channel.Impairments, bucket int) channel.Impairments {
-	if bucket <= 0 {
-		return imp
-	}
-	frac := float64(bucket) / AgeBuckets
-	imp.StalenessDB = channel.LinearToDB(channel.DBToLinear(imp.StalenessDB) * (1 + 3*frac))
-	return imp
+	return imp.Aged(float64(bucket) / AgeBuckets)
 }
 
 // key is the full result-cache identity of a request: everything that

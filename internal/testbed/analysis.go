@@ -104,7 +104,9 @@ func RunSeedRobustness(ctx context.Context, sc channel.Scenario, base Config, se
 	perScheme := make(map[string][]float64)
 	for s := 0; s < seeds; s++ {
 		cfg := base
-		cfg.Seed = base.Seed + int64(s)*1000
+		// Statelessly derived per-replicate seeds: base.Seed + s*1000 would
+		// let replicates of nearby base seeds share testbeds.
+		cfg.Seed = rng.Derive(base.Seed, domainRobustness, uint64(s))
 		res, err := RunScenario(ctx, sc, cfg)
 		if err != nil {
 			return Robustness{}, err

@@ -2,33 +2,38 @@ package testbed
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 
+	"copa/internal/campaign"
 	"copa/internal/channel"
 	"copa/internal/obs"
-	"copa/internal/power"
 	"copa/internal/rng"
-	"copa/internal/strategy"
 )
 
-// Scheme names match the paper's figure legends.
+// Domain tags namespace the package's stateless RNG substreams (see
+// rng.Derive): each family of streams derived from one user-supplied seed
+// gets a distinct leading path element so families never alias.
 const (
-	SchemeCSMA     = "CSMA"
-	SchemeCOPASeq  = "COPA-SEQ"
-	SchemeNull     = "Null" // "Null+SDA" in the overconstrained scenario
-	SchemeCOPAFair = "COPA fair"
-	SchemeCOPA     = "COPA"
-	SchemeCOPAPF   = "COPA+ fair"
-	SchemeCOPAP    = "COPA+"
+	domainLossSweep  uint64 = 0x1055 // per-topology loss-sweep pair streams
+	domainRobustness uint64 = 0x0b57 // per-replicate seeds in RunSeedRobustness
+)
+
+// Scheme names match the paper's figure legends. They are owned by
+// internal/campaign (the shared evaluation kernel) and aliased here so
+// existing callers keep compiling.
+const (
+	SchemeCSMA     = campaign.SchemeCSMA
+	SchemeCOPASeq  = campaign.SchemeCOPASeq
+	SchemeNull     = campaign.SchemeNull // "Null+SDA" in the overconstrained scenario
+	SchemeCOPAFair = campaign.SchemeCOPAFair
+	SchemeCOPA     = campaign.SchemeCOPA
+	SchemeCOPAPF   = campaign.SchemeCOPAPF
+	SchemeCOPAP    = campaign.SchemeCOPAP
 )
 
 // AllSchemes lists scheme names in the paper's presentation order.
-var AllSchemes = []string{
-	SchemeCSMA, SchemeCOPASeq, SchemeNull,
-	SchemeCOPAFair, SchemeCOPA, SchemeCOPAPF, SchemeCOPAP,
-}
+var AllSchemes = campaign.AllSchemes
 
 // ScenarioResult holds per-topology aggregate throughputs for every
 // scheme in one antenna scenario — the data behind one of Figs. 10–13.
@@ -68,53 +73,20 @@ func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, Topologies: 30, Impairments: channel.DefaultImpairments()}
 }
 
-// topologyOutcomes evaluates every scheme on one deployment.
+// topologyOutcomes evaluates every scheme on one deployment via the
+// shared campaign kernel (bit-identical to what a sharded campaign
+// computes for the same topology).
 func topologyOutcomes(dep *channel.Deployment, cfg Config, src *rng.Source) (map[string]float64, error) {
 	mTopologies.Inc()
 	defer mTopologySeconds.Begin().End()
-	out := make(map[string]float64)
-
-	ev := strategy.NewEvaluator(dep, cfg.Impairments, src.Split(1))
-	ev.MultiDecoder = cfg.MultiDecoder
-	outs, err := ev.EvaluateAll()
+	out, err := campaign.EvaluateTopology(dep, cfg.Impairments, src, campaign.EvalOptions{
+		MultiDecoder: cfg.MultiDecoder,
+		SkipCOPAPlus: cfg.SkipCOPAPlus,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("evaluate %s: %w", dep, err)
+		return nil, err
 	}
-	out[SchemeCSMA] = outs[strategy.KindCSMA].Aggregate()
-	out[SchemeCOPASeq] = outs[strategy.KindCOPASeq].Aggregate()
-	if o, ok := outs[strategy.KindNull]; ok {
-		out[SchemeNull] = o.Aggregate()
-	}
-	out[SchemeCOPA] = strategy.Select(strategy.ModeMax, outs).Aggregate()
-	out[SchemeCOPAFair] = strategy.Select(strategy.ModeFair, outs).Aggregate()
 	mTopologyAggMbps.Observe(out[SchemeCOPA] / 1e6)
-
-	if !cfg.SkipCOPAPlus {
-		// COPA+: same pipeline with iterated mercury/water-filling as the
-		// inner allocator (trace-driven in the paper for the same reason
-		// it is slower here: §4.2).
-		evp := strategy.NewEvaluator(dep, cfg.Impairments, src.Split(1))
-		evp.MultiDecoder = cfg.MultiDecoder
-		evp.Alloc.Inner = power.MercuryBest
-		evp.Alloc.MaxIters = 3
-		plusOuts, err := evp.EvaluateAll()
-		if err != nil {
-			return nil, fmt.Errorf("evaluate COPA+ %s: %w", dep, err)
-		}
-		// COPA+ *adds* the mercury/water-filling allocations to the
-		// strategy set COPA selects from (§4.2), so for each mode the
-		// choice is whichever of the two pipelines predicts higher.
-		pick := func(mode strategy.Mode) float64 {
-			base := strategy.Select(mode, outs)
-			plus := strategy.Select(mode, plusOuts)
-			if plus.PredictedAggregate() > base.PredictedAggregate() {
-				return plus.Aggregate()
-			}
-			return base.Aggregate()
-		}
-		out[SchemeCOPAP] = pick(strategy.ModeMax)
-		out[SchemeCOPAPF] = pick(strategy.ModeFair)
-	}
 	return out, nil
 }
 
@@ -151,10 +123,12 @@ func RunScenario(ctx context.Context, sc channel.Scenario, cfg Config) (*Scenari
 	results := make([]one, len(deps))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	master := rng.New(cfg.Seed ^ 0x5eed)
 	srcs := make([]*rng.Source, len(deps))
 	for i := range srcs {
-		srcs[i] = master.Split(uint64(i))
+		// Stateless per-topology derivation (xor keeps the evaluation
+		// stream family disjoint from the deployment streams, which
+		// derive directly from cfg.Seed).
+		srcs[i] = rng.NewSub(cfg.Seed^0x5eed, uint64(i))
 	}
 	for i, dep := range deps {
 		wg.Add(1)

@@ -302,13 +302,14 @@ type Figure9 struct {
 	SignalDBm, InterferenceDBm []float64
 }
 
-// RunFigure9 samples the testbed population.
+// RunFigure9 samples the testbed population, streaming one topology at
+// a time (DeploymentAt) so the population never needs materializing.
 func RunFigure9(seed int64, topologies int) Figure9 {
 	defer obs.Trace("testbed.figure9").End()
 	defer mFigureSeconds.Begin().End()
-	deps := channel.GenerateTestbed(seed, channel.Scenario4x2, topologies)
 	var fig Figure9
-	for _, d := range deps {
+	for t := 0; t < topologies; t++ {
+		d := channel.DeploymentAt(seed, channel.Scenario4x2, t)
 		for j := 0; j < 2; j++ {
 			fig.SignalDBm = append(fig.SignalDBm, d.SignalDBm[j])
 			fig.InterferenceDBm = append(fig.InterferenceDBm, d.InterferenceDBm[j])

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"copa/internal/campaign"
 	"copa/internal/channel"
 	"copa/internal/core"
 	"copa/internal/mac"
@@ -57,6 +58,10 @@ type LossPoint struct {
 	// clients, fallback rounds scored as CSMA) over all topologies and
 	// rounds.
 	AggregateBps float64
+	// Agg is the streamed per-topology aggregate-throughput column
+	// (moments + quantile sketch), the campaign-style form figure
+	// generation consumes.
+	Agg *campaign.Column
 	// PerTopologyBps[t] is topology t's mean aggregate at this rate.
 	PerTopologyBps []float64
 	// FallbackRate is the fraction of exchanges that exhausted their
@@ -100,7 +105,7 @@ func RunLossSweep(ctx context.Context, sc channel.Scenario, cfg LossSweepConfig)
 	sweep := &LossSweep{Scenario: sc, CSMABps: make([]float64, cfg.Topologies)}
 
 	for _, loss := range cfg.LossRates {
-		pt := LossPoint{Loss: loss, PerTopologyBps: make([]float64, cfg.Topologies)}
+		pt := LossPoint{Loss: loss, Agg: campaign.NewColumn(), PerTopologyBps: make([]float64, cfg.Topologies)}
 		exchanges := 0
 		for t, dep := range deps {
 			if err := ctx.Err(); err != nil {
@@ -108,8 +113,10 @@ func RunLossSweep(ctx context.Context, sc channel.Scenario, cfg LossSweepConfig)
 			}
 			// Identically seeded pair per rate: every rate sees the same
 			// channels, CSI noise, and leader elections — only the medium
-			// differs.
-			src := rng.New(cfg.Seed + int64(t)*7919)
+			// differs. The domain tag keeps these streams disjoint from the
+			// per-topology deployment streams, which derive directly from
+			// (Seed, t).
+			src := rng.NewSub(cfg.Seed, domainLossSweep, uint64(t))
 			pair := core.NewPair(dep, cfg.Impairments, strategy.DefaultCoherence, strategy.ModeMax, src.Split(2))
 			pair.Med = medium.NewFaulty(medium.NewPerfect(), medium.Config{
 				Loss:      loss,
@@ -140,8 +147,9 @@ func RunLossSweep(ctx context.Context, sc channel.Scenario, cfg LossSweepConfig)
 				pair.Advance(mac.TxOp, math.Inf(1))
 			}
 			pt.PerTopologyBps[t] = agg / float64(cfg.Rounds)
+			pt.Agg.Add(pt.PerTopologyBps[t])
 		}
-		pt.AggregateBps = Mean(pt.PerTopologyBps)
+		pt.AggregateBps = pt.Agg.Moments.Mean
 		pt.FallbackRate /= float64(exchanges)
 		pt.RetriesPerExchange /= float64(exchanges)
 		pt.ControlBytesPerExchange /= float64(exchanges)
