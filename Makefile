@@ -6,11 +6,11 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate|CampaignUnit
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
-.PHONY: all build test race vet bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke clean
+.PHONY: all build test race vet check bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke clean
 
 all: build test
 
@@ -19,6 +19,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# check is the fast conformance gate: vet plus the repo lints (metric
+# naming convention over the full registry).
+check: vet
+	$(GO) test -run 'TestMetricNameLint' .
 
 # race includes the obs registry stress test (internal/obs/stress_test.go).
 race:

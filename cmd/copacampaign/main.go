@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"copa/internal/campaign"
 	"copa/internal/cliflags"
@@ -48,6 +49,7 @@ func run(args []string, stdout *os.File) int {
 	out := fs.String("out", "", "write the merged aggregates as JSON to this file ('-' for stdout)")
 	csvDir := fs.String("csv", "", "directory to write summary/CDF CSVs into")
 	quiet := fs.Bool("q", false, "suppress the progress line and summary table")
+	progressEvery := fs.Duration("progress-every", 10*time.Second, "interval between progress log lines with units/s and ETA (0 disables)")
 	dbg := cliflags.Debug(fs)
 	_ = fs.Parse(args)
 
@@ -95,12 +97,19 @@ func run(args []string, stdout *os.File) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Root one trace per invocation: campaign.run, its per-unit and
+	// checkpoint spans all stitch under this (subject to -trace-sample).
+	ctx, rootSpan := obs.StartSpan(ctx, "cli.campaign")
+
 	opt := campaign.Options{
-		Workers:    cf.Workers,
-		Checkpoint: cf.Checkpoint,
-		Resume:     cf.Resume,
+		Workers:       cf.Workers,
+		Checkpoint:    cf.Checkpoint,
+		Resume:        cf.Resume,
+		ProgressEvery: *progressEvery,
 	}
-	if !*quiet {
+	if *quiet {
+		opt.ProgressEvery = 0
+	} else {
 		opt.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d units", done, total)
 			if done == total {
@@ -109,6 +118,7 @@ func run(args []string, stdout *os.File) int {
 		}
 	}
 	res, err := campaign.Run(ctx, spec, opt)
+	rootSpan.EndErr(err)
 	if err != nil {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr)

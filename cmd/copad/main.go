@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -104,21 +105,24 @@ func run(args []string, out *os.File) int {
 	fmt.Fprintf(out, "copad %s: AP %v on %s, peer %v at %s, scenario %s, seed %d\n",
 		role, ap.Addr, udp.LocalAddr(), pair.AP[other].Addr, *peer, sc.Name, *seed)
 
+	ctx := context.Background()
 	if *lead {
-		dec, stats, err := ap.LeadExchange(med, pair.AP[other].Addr, uint32(*airtimeUS), 0, pol)
+		dec, stats, err := ap.LeadExchange(ctx, med, pair.AP[other].Addr, uint32(*airtimeUS), 0, pol)
 		if err != nil {
 			return report(out, logger, stats, err)
 		}
 		fmt.Fprintf(out, "exchange complete: %d control bytes, %d retries\n", stats.ControlBytes, stats.Retries)
+		printTrace(out)
 		printOutcome(out, "negotiated", dec.Outcome)
 		return 0
 	}
 
-	ack, tx, stats, err := ap.FollowExchange(med, *wait, 0, pol)
+	ack, tx, stats, err := ap.FollowExchange(ctx, med, *wait, 0, pol)
 	if err != nil {
 		return report(out, logger, stats, err)
 	}
 	fmt.Fprintf(out, "exchange complete: %d control bytes, %d retries\n", stats.ControlBytes, stats.Retries)
+	printTrace(out)
 	verdict := "sequential (defer this TXOP, transmit solo next turn)"
 	if ack.Decision == mac.DecideConcurrent {
 		verdict = "concurrent (transmit the leader's precoder and powers now)"
@@ -128,6 +132,18 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "follower tx: %d mW total across subcarriers\n", int(tx.TotalPowerMW()))
 	}
 	return 0
+}
+
+// printTrace names the exchange's trace, if one was recorded, so the
+// operator can correlate the two processes' -trace-out dumps (the
+// leader's trace ID crosses the air inside the INIT frame).
+func printTrace(out *os.File) {
+	for _, s := range obs.Tracing().Recent(0) {
+		if s.Trace != "" && (s.Name == "its.exchange" || s.Name == "its.follow") {
+			fmt.Fprintf(out, "trace: %s\n", s.Trace)
+			return
+		}
+	}
 }
 
 // report prints a failed exchange's outcome. A CSMA fallback is a clean

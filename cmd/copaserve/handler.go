@@ -100,23 +100,48 @@ func parseRequest(ar allocateRequest) (serve.Request, error) {
 	return req, nil
 }
 
+// healthzResponse wraps the pool stats with the binary's build
+// identity, so one probe answers both "is it healthy" and "what is it
+// running".
+type healthzResponse struct {
+	serve.Stats
+	Build obs.BuildInfo `json:"build"`
+}
+
 // newMux routes the daemon: the allocation endpoint, a health probe
-// reporting queue/cache occupancy, and the obs debug endpoints
-// (/debug/vars, /debug/metrics, /debug/spans, /debug/pprof).
+// reporting queue/cache occupancy and build identity, and the obs
+// debug endpoints (/metrics OpenMetrics exposition, /debug/vars,
+// /debug/metrics, /debug/spans, /debug/buildinfo, /debug/pprof).
+//
+// /v1/allocate participates in distributed tracing: an incoming W3C
+// traceparent header continues the caller's trace, otherwise the
+// handler roots a new one (subject to -trace-sample), and either way
+// the response echoes a traceparent naming the request's trace so the
+// client can fetch the stitched tree from /debug/spans?trace=<id>.
 func newMux(srv *serve.Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.ExtractHTTP(r.Context(), r.Header)
+		ctx, span := obs.StartSpan(ctx, "http.allocate")
+		if sc := span.Context(); sc.Valid() {
+			w.Header().Set(obs.TraceparentHeader, sc.Traceparent())
+		}
 		var ar allocateRequest
 		if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
+			span.EndErr(err)
 			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
 		req, err := parseRequest(ar)
 		if err != nil {
+			span.EndErr(err)
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res, cached, err := srv.Allocate(r.Context(), req)
+		span.SetAttr("scenario", ar.Scenario)
+		res, cached, err := srv.Allocate(ctx, req)
+		span.SetAttr("cached", fmt.Sprintf("%t", cached))
+		span.EndErr(err)
 		if err != nil {
 			switch {
 			case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrServerClosed):
@@ -146,8 +171,10 @@ func newMux(srv *serve.Server) *http.ServeMux {
 		if st.Draining {
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, st)
+		writeJSON(w, status, healthzResponse{Stats: st, Build: obs.ReadBuildInfo()})
 	})
-	mux.Handle("/debug/", obs.DebugMux())
+	dbg := obs.DebugMux()
+	mux.Handle("/debug/", dbg)
+	mux.Handle("/metrics", dbg)
 	return mux
 }

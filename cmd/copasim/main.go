@@ -9,7 +9,8 @@
 //
 // Operational flags: -debug-addr serves expvar (/debug/vars), a registry
 // snapshot (/debug/metrics), recent spans (/debug/spans) and pprof;
-// -cpuprofile/-memprofile/-trace-out write profiles; -v enables debug
+// -cpuprofile/-memprofile/-exec-trace write profiles; -trace-out dumps
+// recorded spans as JSON at exit; -v enables debug
 // logging.
 package main
 
@@ -46,7 +47,7 @@ func run(args []string) int {
 	dbg := cliflags.Debug(fs)
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	traceOut := fs.String("trace-out", "", "write a runtime execution trace to this file")
+	execTrace := fs.String("exec-trace", "", "write a runtime execution trace to this file")
 	_ = fs.Parse(args)
 	// Ctrl-C (or SIGTERM) cancels the context the experiment harness
 	// runs under: the current figure aborts between topologies instead
@@ -75,15 +76,15 @@ func run(args []string) int {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
 		if err != nil {
-			logger.Error("trace-out failed", "err", err)
+			logger.Error("exec-trace failed", "err", err)
 			return 1
 		}
 		defer f.Close()
 		if err := trace.Start(f); err != nil {
-			logger.Error("trace-out failed", "err", err)
+			logger.Error("exec-trace failed", "err", err)
 			return 1
 		}
 		defer trace.Stop()

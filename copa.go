@@ -23,6 +23,8 @@
 package copa
 
 import (
+	"context"
+	"io"
 	"log/slog"
 	"time"
 
@@ -283,6 +285,39 @@ func MetricsEnabled() bool { return obs.Enabled() }
 // RecentSpans returns up to n most recent trace spans, newest first
 // (n <= 0 returns all retained spans).
 func RecentSpans(n int) []SpanRecord { return obs.Tracing().Recent(n) }
+
+// Distributed tracing: hierarchical request-scoped spans propagated
+// through context.Context, across HTTP (traceparent header) and ITS
+// frames (binary trace context). See internal/obs for the model.
+type (
+	// TraceSpan is an open hierarchical span; End/EndErr record it.
+	TraceSpan = obs.ActiveSpan
+	// TraceSpanContext is a span's wire identity (trace ID, span ID,
+	// sampling decision).
+	TraceSpanContext = obs.SpanContext
+)
+
+// StartSpan opens a span: a child when ctx already carries a sampled
+// trace, otherwise a new root subject to the sampling rate. The
+// returned context carries the span for downstream StartSpan calls.
+func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return obs.StartSpan(ctx, name)
+}
+
+// TraceSpans returns every retained span of one trace, oldest first.
+func TraceSpans(traceID string) []SpanRecord { return obs.Tracing().TraceSpans(traceID) }
+
+// SetTraceSampling sets the fraction of new root traces that record
+// hierarchical spans (clamped to [0,1]; remote decisions always win).
+func SetTraceSampling(rate float64) { obs.SetTraceSampling(rate) }
+
+// WriteOpenMetrics renders a metrics snapshot in OpenMetrics text
+// format (the Prometheus exposition served on /metrics).
+func WriteOpenMetrics(w io.Writer, s MetricsSnapshot) error { return obs.WriteOpenMetrics(w, s) }
+
+// WriteTraceJSON dumps every retained span as a JSON array, oldest
+// first (the CLIs' -trace-out format).
+func WriteTraceJSON(w io.Writer) error { return obs.Tracing().WriteJSON(w) }
 
 // ServeDebug starts an HTTP listener exposing /debug/vars (expvar with
 // live copa.* metrics), /debug/metrics, /debug/spans, and /debug/pprof.

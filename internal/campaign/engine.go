@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +28,21 @@ type Options struct {
 	// every completed unit (for CLI progress lines; obs metrics are
 	// always maintained).
 	OnProgress func(done, total int)
+	// ProgressEvery, when positive, makes the collector log a progress
+	// line (done/total, units/s, ETA) at most once per interval.
+	ProgressEvery time.Duration
+}
+
+// Progress is the collector's running view of a campaign, passed to
+// the periodic log line and mirrored into the copa.campaign.* gauges.
+type Progress struct {
+	Done, Total int
+	// UnitsPerSec is the completion rate of THIS run (resumed units
+	// journaled by a prior run don't count toward the rate).
+	UnitsPerSec float64
+	// ETA is the remaining wall time at the current rate (0 until the
+	// first unit of this run completes).
+	ETA time.Duration
 }
 
 // Run executes a campaign to completion: it shards the spec's scenario
@@ -45,8 +61,10 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	span := obs.Trace("campaign.run")
-	defer span.End()
+	var span cSpan
+	ctx, span = startCSpan(ctx, "campaign.run")
+	var runErr error
+	defer func() { span.EndErr(runErr) }()
 	mRuns.Inc()
 
 	total := spec.Units()
@@ -57,6 +75,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 		var err error
 		jnl, done, err = openJournal(opt.Checkpoint, spec, opt.Resume)
 		if err != nil {
+			runErr = err
 			return nil, err
 		}
 		defer jnl.close()
@@ -120,9 +139,12 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 			ws := &precoding.Workspace{}
 			for u := range feed {
 				mUnitsInFlight.Add(1)
+				usp := obs.ChildSpan(ctx, "campaign.unit")
+				usp.SetAttr("unit", strconv.Itoa(u))
 				sample := mUnitSeconds.Begin()
 				res, err := evalUnit(spec, u, ws, checkCancel)
 				sample.End()
+				usp.EndErr(err)
 				mUnitsInFlight.Add(-1)
 				if err != nil {
 					if err != context.Canceled && ctx.Err() == nil {
@@ -149,20 +171,46 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	// becomes durable, which is what makes kill-and-resume cheap.
 	started := time.Now()
 	completed := 0
+	unitsPerShard := spec.Cells()
+	shardDone := make([]int, spec.Shards)
+	gauges := shardGauges(spec.Shards)
 	for u := range total {
 		if results[u] != nil {
 			completed++
+			_, _, sh := spec.unitCoord(u)
+			shardDone[sh]++
 		}
 	}
+	for sh, g := range gauges {
+		g.Set(float64(shardDone[sh]) / float64(unitsPerShard))
+	}
+	resumed := completed
+	lastLog := started
 	for res := range out {
 		results[res.Unit] = res
 		completed++
 		mUnitsDone.Inc()
+		_, _, sh := spec.unitCoord(res.Unit)
+		shardDone[sh]++
+		gauges[sh].Set(float64(shardDone[sh]) / float64(unitsPerShard))
+
+		// Rate and ETA count only THIS run's completions: resumed units
+		// were paid for by a previous process and would inflate both.
+		prog := Progress{Done: completed, Total: total}
 		if elapsed := time.Since(started).Seconds(); elapsed > 0 {
-			mUnitsPerSec.Set(float64(completed) / elapsed)
+			prog.UnitsPerSec = float64(completed-resumed) / elapsed
 		}
+		if prog.UnitsPerSec > 0 {
+			prog.ETA = time.Duration(float64(total-completed) / prog.UnitsPerSec * float64(time.Second))
+		}
+		mUnitsPerSec.Set(prog.UnitsPerSec)
+		mETASeconds.Set(prog.ETA.Seconds())
+
 		if jnl != nil {
-			if err := jnl.record(res); err != nil {
+			ckSpan := obs.ChildSpan(ctx, "campaign.checkpoint")
+			err := jnl.record(res)
+			ckSpan.EndErr(err)
+			if err != nil {
 				fail(fmt.Errorf("campaign: journaling unit %d: %w", res.Unit, err))
 			}
 			mCheckpointUnix.Set(float64(time.Now().Unix()))
@@ -170,20 +218,30 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 		if opt.OnProgress != nil {
 			opt.OnProgress(completed, total)
 		}
+		if opt.ProgressEvery > 0 && (time.Since(lastLog) >= opt.ProgressEvery || completed == total) {
+			lastLog = time.Now()
+			obs.Logger().Info("campaign progress",
+				"done", completed, "total", total,
+				"units_per_sec", fmt.Sprintf("%.2f", prog.UnitsPerSec),
+				"eta", prog.ETA.Round(time.Second).String())
+		}
 	}
 	abort() // release any worker blocked on out after an error
 
 	if err := ctx.Err(); err != nil {
+		runErr = err
 		return nil, err
 	}
 	errMu.Lock()
 	err := firstErr
 	errMu.Unlock()
 	if err != nil {
+		runErr = err
 		return nil, err
 	}
 	if completed != total {
-		return nil, fmt.Errorf("campaign: %d/%d units completed", completed, total)
+		runErr = fmt.Errorf("campaign: %d/%d units completed", completed, total)
+		return nil, runErr
 	}
 	return finalize(spec, results), nil
 }

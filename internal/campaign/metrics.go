@@ -1,6 +1,10 @@
 package campaign
 
-import "copa/internal/obs"
+import (
+	"fmt"
+
+	"copa/internal/obs"
+)
 
 // Handles resolved once at init; workers and the collector only touch
 // atomics on the hot path.
@@ -18,4 +22,19 @@ var (
 	// mCheckpointUnix is the wall time of the last journal append;
 	// checkpoint age is "now − this".
 	mCheckpointUnix = obs.G("copa.campaign.checkpoint_last_write_unixsec")
+	// mETASeconds is the collector's remaining-work estimate at the
+	// current completion rate (0 until the first unit of a run lands).
+	mETASeconds = obs.G("copa.campaign.eta_seconds")
 )
+
+// shardGauges resolves one completion-fraction gauge per shard index,
+// named copa.campaign.shard_progress.s<k>. Shard counts are small and
+// stable across a process's campaigns, so repeated Run calls resolve
+// the same handles.
+func shardGauges(shards int) []*obs.Gauge {
+	gs := make([]*obs.Gauge, shards)
+	for sh := range gs {
+		gs[sh] = obs.G(fmt.Sprintf("copa.campaign.shard_progress.s%d", sh))
+	}
+	return gs
+}

@@ -1,0 +1,43 @@
+package campaign
+
+import (
+	"context"
+
+	"copa/internal/obs"
+)
+
+// cSpan is the campaign's span handle: hierarchical when the caller's
+// context carries a sampled trace (copacampaign roots one per run),
+// flat otherwise — so library callers and benchmarks that never start
+// a trace pay only the registry's flat-span cost.
+type cSpan struct {
+	flat obs.Span
+	hier *obs.ActiveSpan
+}
+
+// startCSpan opens a span named name. With a sampled trace in ctx it
+// returns a hierarchical child and a context carrying it (so unit and
+// checkpoint spans nest under it); otherwise it falls back to a flat
+// registry span and the context is returned unchanged.
+func startCSpan(ctx context.Context, name string) (context.Context, cSpan) {
+	if sp := obs.ChildSpan(ctx, name); sp != nil {
+		return obs.ContextWithSpan(ctx, sp.Context()), cSpan{hier: sp}
+	}
+	return ctx, cSpan{flat: obs.Trace(name)}
+}
+
+func (s cSpan) End() {
+	if s.hier != nil {
+		s.hier.End()
+		return
+	}
+	s.flat.End()
+}
+
+func (s cSpan) EndErr(err error) {
+	if s.hier != nil {
+		s.hier.EndErr(err)
+		return
+	}
+	s.flat.End()
+}

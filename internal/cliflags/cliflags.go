@@ -175,32 +175,72 @@ func (c *CampaignFlags) EffectiveShards(topologies int) int {
 	return s
 }
 
-// DebugFlags is the -v / -debug-addr operational pair.
+// DebugFlags is the operational flag set every copa command shares:
+// -v / -debug-addr plus the tracing pair -trace-out / -trace-sample.
 type DebugFlags struct {
 	Verbose bool
 	Addr    string
+	// TraceOut is a path to dump all retained spans as JSON at
+	// shutdown ("" disables, "-" writes to stderr).
+	TraceOut string
+	// TraceSample is the fraction of new root traces that get sampled
+	// into hierarchical spans (existing remote decisions always win).
+	TraceSample float64
 }
 
-// Debug registers -v and -debug-addr on fs.
+// Debug registers -v, -debug-addr, -trace-out and -trace-sample on fs.
 func Debug(fs *flag.FlagSet) *DebugFlags {
 	d := &DebugFlags{}
 	fs.BoolVar(&d.Verbose, "v", false, "debug logging")
-	fs.StringVar(&d.Addr, "debug-addr", "", "serve expvar + pprof on this address (\":0\" picks a port)")
+	fs.StringVar(&d.Addr, "debug-addr", "", "serve expvar + pprof + /metrics on this address (\":0\" picks a port)")
+	fs.StringVar(&d.TraceOut, "trace-out", "", "dump recorded spans as JSON to this file at exit ('-' for stderr)")
+	fs.Float64Var(&d.TraceSample, "trace-sample", 1, "fraction of new traces to sample [0,1]")
 	return d
 }
 
-// Start applies the verbosity setting and, when -debug-addr was given,
-// starts the obs debug server, announcing the bound address on stderr.
-// The returned shutdown function is never nil.
+// Start applies the verbosity and trace-sampling settings, starts the
+// runtime metrics collector, and, when -debug-addr was given, starts
+// the obs debug server, announcing the bound address on stderr. The
+// returned shutdown function is never nil; it stops what Start
+// started and honors -trace-out by dumping the span ring as JSON.
 func (d *DebugFlags) Start() (shutdown func(), err error) {
 	obs.SetVerbose(d.Verbose)
-	if d.Addr == "" {
-		return func() {}, nil
+	obs.SetTraceSampling(d.TraceSample)
+	stopRuntime := obs.StartRuntimeCollector(0)
+	stopServer := func() {}
+	if d.Addr != "" {
+		bound, stop, err := obs.ServeDebug(d.Addr)
+		if err != nil {
+			stopRuntime()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
+		stopServer = stop
 	}
-	bound, stop, err := obs.ServeDebug(d.Addr)
+	return func() {
+		stopServer()
+		stopRuntime()
+		if err := d.dumpTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace dump failed: %v\n", err)
+		}
+	}, nil
+}
+
+// dumpTrace writes the retained span ring to -trace-out.
+func (d *DebugFlags) dumpTrace() error {
+	if d.TraceOut == "" {
+		return nil
+	}
+	if d.TraceOut == "-" {
+		return obs.Tracing().WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(d.TraceOut)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", bound)
-	return stop, nil
+	if err := obs.Tracing().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,10 +1,14 @@
 package cliflags
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"copa/internal/channel"
+	"copa/internal/obs"
 	"copa/internal/strategy"
 )
 
@@ -131,6 +135,46 @@ func TestCampaignValidate(t *testing.T) {
 				t.Fatalf("Validate(%d) = %v, wantErr=%v", tc.topologies, err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestDebugFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	d := Debug(fs)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := fs.Parse([]string{"-v", "-trace-out", tracePath, "-trace-sample", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Verbose || d.TraceOut != tracePath || d.TraceSample != 0.5 {
+		t.Fatalf("parsed %+v", d)
+	}
+
+	shutdown, err := d.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.TraceSampling(); got != 0.5 {
+		t.Errorf("trace sampling = %v after Start, want 0.5", got)
+	}
+	obs.SetTraceSampling(1)
+	defer obs.SetVerbose(false)
+	obs.Trace("cliflags.test.span").End()
+	shutdown()
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("-trace-out produced no file: %v", err)
+	}
+	var spans []obs.SpanRecord
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace dump is not a JSON span array: %v", err)
+	}
+	found := false
+	for _, s := range spans {
+		found = found || s.Name == "cliflags.test.span"
+	}
+	if !found {
+		t.Error("recorded span missing from -trace-out dump")
 	}
 }
 

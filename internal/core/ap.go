@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"copa/internal/channel"
 	"copa/internal/csi"
 	"copa/internal/mac"
+	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/precoding"
 	"copa/internal/strategy"
@@ -61,6 +63,20 @@ var errNoCSI = errors.New("core: no fresh CSI")
 // µs of data (Step 2).
 func (ap *AP) BuildITSInit(airtimeUS uint32) []byte {
 	f := &mac.ITSInit{Leader: ap.Addr, Client: ap.ClientAddr, AirtimeUS: airtimeUS}
+	return f.Marshal()
+}
+
+// BuildITSInitTrace is BuildITSInit carrying ctx's trace context in the
+// frame's optional TraceCtx field, so the receiving process can stitch
+// its spans into the sender's trace. With no sampled span in ctx the
+// frame is byte-identical to BuildITSInit's.
+func (ap *AP) BuildITSInitTrace(ctx context.Context, airtimeUS uint32) []byte {
+	f := &mac.ITSInit{
+		Leader:    ap.Addr,
+		Client:    ap.ClientAddr,
+		AirtimeUS: airtimeUS,
+		TraceCtx:  obs.TraceContextBinary(ctx),
+	}
 	return f.Marshal()
 }
 

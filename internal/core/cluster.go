@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,7 +152,7 @@ func (c *Cluster) RunRound() (*RoundResult, error) {
 	if c.Med == nil {
 		c.Med = medium.NewPerfect()
 	}
-	ex, err := runExchangeOverMedium(c.Med, lead, fol, uint32(mac.TxOp.Microseconds()), c.clk, c.Retry)
+	ex, err := runExchangeOverMedium(context.Background(), c.Med, lead, fol, uint32(mac.TxOp.Microseconds()), c.clk, c.Retry)
 	if err != nil {
 		span.EndErr(err)
 		return nil, err

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"copa/internal/mac"
@@ -181,7 +183,11 @@ var errExhausted = errors.New("core: retry budget exhausted")
 // clock domains: simulated media answer Recv from their queues in
 // virtual time, and blocking media (UDP) are driven instead by the
 // split LeadExchange/FollowExchange role drivers.
-func runExchangeOverMedium(med medium.Medium, lead, fol *AP, airtimeUS uint32, now time.Duration, pol RetryPolicy) (*exchangeResult, error) {
+//
+// ctx carries trace identity only (never a deadline — timeouts are the
+// medium's): under a sampled trace the REQ and ACK legs record
+// hierarchical child spans with retry counts; otherwise they stay flat.
+func runExchangeOverMedium(ctx context.Context, med medium.Medium, lead, fol *AP, airtimeUS uint32, now time.Duration, pol RetryPolicy) (*exchangeResult, error) {
 	res := &exchangeResult{}
 	tmo := mac.DefaultOverheadModel().ITSTimeouts().Clamp(pol.TimeoutFloor)
 	initFrame := lead.BuildITSInit(airtimeUS)
@@ -205,7 +211,8 @@ func runExchangeOverMedium(med medium.Medium, lead, fol *AP, airtimeUS uint32, n
 		}
 		return cause
 	}
-	fallback := func(span obs.Span, cause FailCause) (*exchangeResult, error) {
+	fallback := func(span exSpan, cause FailCause) (*exchangeResult, error) {
+		span.SetAttr("cause", cause.String())
 		span.EndErr(errExhausted)
 		res.Fallback = true
 		res.Cause = cause
@@ -214,7 +221,8 @@ func runExchangeOverMedium(med medium.Medium, lead, fol *AP, airtimeUS uint32, n
 		mFallbacks.Inc()
 		return res, nil
 	}
-	abort := func(span obs.Span, cause FailCause, err error) (*exchangeResult, error) {
+	abort := func(span exSpan, cause FailCause, err error) (*exchangeResult, error) {
+		span.SetAttr("cause", cause.String())
 		span.EndErr(err)
 		res.Cause = cause
 		mSessionFailures.Inc()
@@ -226,7 +234,7 @@ func runExchangeOverMedium(med medium.Medium, lead, fol *AP, airtimeUS uint32, n
 	// timer: a lost INIT, a garbled INIT (the follower stays silent), or
 	// a lost/garbled REQ all look like a missing REQ and trigger an INIT
 	// retransmission, which the follower answers idempotently.
-	span := obs.Trace("its.leg.req")
+	_, span := startExSpan(ctx, "its.leg.req")
 	var dec *LeadDecision
 	cause := CauseTimeout
 	for try := 0; dec == nil; try++ {
@@ -263,11 +271,12 @@ func runExchangeOverMedium(med medium.Medium, lead, fol *AP, airtimeUS uint32, n
 		}
 		dec = d
 	}
+	span.SetAttr("retries", strconv.Itoa(res.Retries))
 	span.End()
 
 	// Leg 2: ACK out, applied at the follower. The leader retransmits
 	// the verdict until the follower accepts it or the budget runs out.
-	span = obs.Trace("its.leg.ack")
+	_, span = startExSpan(ctx, "its.leg.ack")
 	cause = CauseTimeout
 	for try := 0; ; try++ {
 		if try == pol.tries() {

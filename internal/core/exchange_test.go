@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -183,11 +184,11 @@ func TestLiveUDPExchange(t *testing.T) {
 	}
 	done := make(chan folResult, 1)
 	go func() {
-		ack, _, _, err := fol.FollowExchange(medF, 5*time.Second, p.Clock(), pol)
+		ack, _, _, err := fol.FollowExchange(context.Background(), medF, 5*time.Second, p.Clock(), pol)
 		done <- folResult{ack, err}
 	}()
 
-	dec, stats, err := lead.LeadExchange(medL, fol.Addr, 4000, p.Clock(), pol)
+	dec, stats, err := lead.LeadExchange(context.Background(), medL, fol.Addr, 4000, p.Clock(), pol)
 	if err != nil {
 		t.Fatalf("leader: %v", err)
 	}
@@ -223,7 +224,7 @@ func TestFollowExchangeNoLeaderFallsBack(t *testing.T) {
 	defer med.Close()
 	pol := DefaultRetryPolicy()
 	pol.TimeoutFloor = 20 * time.Millisecond
-	_, _, stats, err := p.AP[1].FollowExchange(med, 60*time.Millisecond, 0, pol)
+	_, _, stats, err := p.AP[1].FollowExchange(context.Background(), med, 60*time.Millisecond, 0, pol)
 	if !errors.Is(err, ErrFallback) {
 		t.Fatalf("err = %v, want ErrFallback", err)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"copa/internal/mac"
@@ -32,12 +34,17 @@ var ErrFallback = errors.New("core: exchange fell back to CSMA")
 // On budget exhaustion it returns stats with Fallback set and an error
 // wrapping ErrFallback. Protocol failures (no CSI, infeasible strategy)
 // abort immediately, as in the simulated engine.
-func (ap *AP) LeadExchange(med medium.Medium, folAddr mac.Addr, airtimeUS uint32, now time.Duration, pol RetryPolicy) (*LeadDecision, ExchangeStats, error) {
+//
+// The leader is where a live exchange's trace begins: obs.StartSpan
+// roots one (or continues ctx's), and its identity rides inside the
+// INIT frame as a compact binary field, so the follower process's
+// spans share the leader's TraceID — one stitched over-the-air trace.
+func (ap *AP) LeadExchange(ctx context.Context, med medium.Medium, folAddr mac.Addr, airtimeUS uint32, now time.Duration, pol RetryPolicy) (*LeadDecision, ExchangeStats, error) {
 	var stats ExchangeStats
 	tmo := mac.DefaultOverheadModel().ITSTimeouts().Clamp(pol.TimeoutFloor)
-	initFrame := ap.BuildITSInit(airtimeUS)
 	mSessions.Inc()
-	span := obs.Trace("its.exchange")
+	ctx, span := obs.StartSpan(ctx, "its.exchange")
+	initFrame := ap.BuildITSInitTrace(ctx, airtimeUS)
 
 	fail := func(cause FailCause, err error) (*LeadDecision, ExchangeStats, error) {
 		stats.Cause = cause
@@ -52,10 +59,12 @@ func (ap *AP) LeadExchange(med medium.Medium, folAddr mac.Addr, airtimeUS uint32
 	}
 
 	// Leg 1: INIT → REQ → decision.
+	leg := obs.ChildSpan(ctx, "its.leg.req")
 	var dec *LeadDecision
 	cause := CauseTimeout
 	for try := 0; dec == nil; try++ {
 		if try == pol.tries() {
+			leg.EndErr(errExhausted)
 			return fail(cause, fmt.Errorf("%w: no usable REQ after %d tries (%v)", ErrFallback, try, cause))
 		}
 		if try > 0 {
@@ -87,16 +96,21 @@ func (ap *AP) LeadExchange(med medium.Medium, folAddr mac.Addr, airtimeUS uint32
 		}
 		dec = d
 	}
+	leg.SetAttr("retries", strconv.Itoa(stats.Retries))
+	leg.End()
 
 	// Leg 2: ACK, with a linger window for duplicate REQs.
+	leg = obs.ChildSpan(ctx, "its.leg.ack")
 	for try := 0; try < pol.tries(); try++ {
 		if err := med.Send(ap.Addr, folAddr, dec.Ack); err != nil {
+			leg.EndErr(err)
 			return fail(CauseTimeout, fmt.Errorf("send ACK: %w", err))
 		}
 		stats.ControlBytes += len(dec.Ack)
 		if _, err := recvITS(med, ap.Addr, tmo.ACK, mac.TypeITSReq); err != nil {
 			// Silence: the follower accepted the verdict (or gave up; it
 			// will report its own fallback). Done either way.
+			leg.End()
 			span.End()
 			return dec, stats, nil
 		}
@@ -104,6 +118,7 @@ func (ap *AP) LeadExchange(med medium.Medium, folAddr mac.Addr, airtimeUS uint32
 		stats.Retries++
 		mRetries.Inc()
 	}
+	leg.End()
 	span.End()
 	return dec, stats, nil
 }
@@ -113,10 +128,17 @@ func (ap *AP) LeadExchange(med medium.Medium, folAddr mac.Addr, airtimeUS uint32
 // duplicate INITs (the leader's implicit "I missed your REQ") and
 // retransmitting the REQ on ACK timeouts. Returns the parsed verdict and
 // — as HandleITSAck does — the follower's transmission descriptor.
-func (ap *AP) FollowExchange(med medium.Medium, wait time.Duration, now time.Duration, pol RetryPolicy) (*mac.ITSAck, *precoding.Transmission, ExchangeStats, error) {
+//
+// When the INIT carries the leader's trace context, the follower's
+// its.follow span joins the leader's trace: both processes' spans share
+// one TraceID, parented across the air.
+func (ap *AP) FollowExchange(ctx context.Context, med medium.Medium, wait time.Duration, now time.Duration, pol RetryPolicy) (*mac.ITSAck, *precoding.Transmission, ExchangeStats, error) {
 	var stats ExchangeStats
 	tmo := mac.DefaultOverheadModel().ITSTimeouts().Clamp(pol.TimeoutFloor)
+	// The span opens flat and is upgraded to a hierarchical child once a
+	// leader's INIT reveals the trace this exchange belongs to.
 	span := obs.Trace("its.follow")
+	var hier *obs.ActiveSpan
 
 	fail := func(cause FailCause, err error) (*mac.ITSAck, *precoding.Transmission, ExchangeStats, error) {
 		stats.Cause = cause
@@ -124,7 +146,11 @@ func (ap *AP) FollowExchange(med medium.Medium, wait time.Duration, now time.Dur
 		if stats.Fallback {
 			mFallbacks.Inc()
 		}
-		span.EndErr(err)
+		if hier != nil {
+			hier.EndErr(err)
+		} else {
+			span.EndErr(err)
+		}
 		return nil, nil, stats, err
 	}
 
@@ -152,6 +178,13 @@ func (ap *AP) FollowExchange(med medium.Medium, wait time.Duration, now time.Dur
 			return fail(CauseReqBuild, fmt.Errorf("follower REQ: %w", err))
 		}
 		reqFrame = r
+		// Adopt the leader's trace, if the INIT carried one.
+		if init, err := mac.UnmarshalITSInit(data); err == nil && len(init.TraceCtx) > 0 {
+			rctx := obs.ContextWithRemoteBinary(ctx, init.TraceCtx)
+			if h := obs.ChildSpan(rctx, "its.follow"); h != nil {
+				hier = h
+			}
+		}
 	}
 
 	// Send the REQ and await the verdict; duplicate INITs mean the
@@ -189,7 +222,12 @@ func (ap *AP) FollowExchange(med medium.Medium, wait time.Duration, now time.Dur
 			}
 			return fail(CauseAckHandle, fmt.Errorf("follower ACK: %w", err))
 		}
-		span.End()
+		if hier != nil {
+			hier.SetAttr("retries", strconv.Itoa(stats.Retries))
+			hier.End()
+		} else {
+			span.End()
+		}
 		return ack, tx, stats, nil
 	}
 	return fail(cause, fmt.Errorf("%w: no verdict after %d tries (%v)", ErrFallback, pol.tries(), cause))

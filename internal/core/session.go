@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"copa/internal/channel"
 	"copa/internal/mac"
 	"copa/internal/medium"
-	"copa/internal/obs"
 	"copa/internal/power"
 	"copa/internal/precoding"
 	"copa/internal/rng"
@@ -120,13 +120,22 @@ func (p *Pair) MeasureCSI() {
 // pair reverts to plain CSMA for the rest of the coherence time.
 // Protocol failures (no fresh CSI, infeasible strategy) still error.
 func (p *Pair) RunExchange(airtimeUS uint32) (*Session, error) {
-	span := obs.Trace("its.exchange")
+	return p.RunExchangeContext(context.Background(), airtimeUS)
+}
+
+// RunExchangeContext is RunExchange carrying a trace context: when ctx
+// holds a sampled trace (obs.StartSpan upstream) the exchange and its
+// REQ/ACK legs record hierarchical child spans stitched into the
+// caller's trace; with a plain context it behaves exactly like
+// RunExchange.
+func (p *Pair) RunExchangeContext(ctx context.Context, airtimeUS uint32) (*Session, error) {
+	ctx, span := startExSpan(ctx, "its.exchange")
 	timing := mExchangeSeconds.Begin()
 	mSessions.Inc()
 	leader := p.src.Intn(2)
 	follower := 1 - leader
 
-	res, err := runExchangeOverMedium(p.med(), p.AP[leader], p.AP[follower], airtimeUS, p.clk, p.Retry)
+	res, err := runExchangeOverMedium(ctx, p.med(), p.AP[leader], p.AP[follower], airtimeUS, p.clk, p.Retry)
 	if err != nil {
 		span.EndErr(err)
 		return nil, err

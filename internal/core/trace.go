@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+
+	"copa/internal/obs"
+)
+
+// exSpan lets the exchange engine record spans in whichever tier the
+// caller is in: under a sampled trace (a copad exchange rooted by the
+// CLI, or a request context handed down a pipeline) legs become
+// hierarchical child spans stitched by TraceID; without one they stay
+// the flat ring-buffer spans the simulators have always recorded — no
+// trace-ID allocation on the million-exchange campaign paths.
+type exSpan struct {
+	flat obs.Span
+	hier *obs.ActiveSpan
+}
+
+// startExSpan opens a span named name: hierarchical under ctx's sampled
+// trace, flat otherwise. The returned context carries the span identity
+// for nested legs.
+func startExSpan(ctx context.Context, name string) (context.Context, exSpan) {
+	if sp := obs.ChildSpan(ctx, name); sp != nil {
+		return obs.ContextWithSpan(ctx, sp.Context()), exSpan{hier: sp}
+	}
+	return ctx, exSpan{flat: obs.Trace(name)}
+}
+
+// End finishes the span successfully.
+func (s exSpan) End() {
+	if s.hier != nil {
+		s.hier.End()
+		return
+	}
+	s.flat.End()
+}
+
+// EndErr finishes the span, recording err's text if non-nil.
+func (s exSpan) EndErr(err error) {
+	if s.hier != nil {
+		s.hier.EndErr(err)
+		return
+	}
+	s.flat.EndErr(err)
+}
+
+// SetAttr annotates hierarchical spans; flat spans carry no attributes.
+func (s exSpan) SetAttr(key, value string) {
+	s.hier.SetAttr(key, value)
+}

@@ -63,6 +63,13 @@ type ITSInit struct {
 	Client Addr
 	// AirtimeUS is the announced duration (µs) third parties defer for.
 	AirtimeUS uint32
+	// TraceCtx is an optional compact trace context
+	// (obs.TraceContextBinary) stitching the follower's spans into the
+	// leader's trace. Empty TraceCtx marshals to the legacy 16-byte body,
+	// so untraced exchanges stay byte-identical on the wire — airtime
+	// accounting and golden figures are unchanged unless tracing is
+	// actually propagating.
+	TraceCtx []byte
 }
 
 // ITSReq is the follower's request to join the transmission opportunity;
@@ -138,22 +145,35 @@ func (f *ITSInit) Marshal() []byte {
 	b.Write(f.Leader[:])
 	b.Write(f.Client[:])
 	binary.Write(&b, binary.LittleEndian, f.AirtimeUS)
+	if len(f.TraceCtx) > 0 {
+		writeBlob(&b, f.TraceCtx)
+	}
 	return marshalFrame(TypeITSInit, b.Bytes())
 }
 
-// UnmarshalITSInit parses an ITS INIT frame.
+// UnmarshalITSInit parses an ITS INIT frame: either the legacy 16-byte
+// body or the extended form with a trailing trace-context blob.
 func UnmarshalITSInit(data []byte) (*ITSInit, error) {
 	t, body, err := unmarshalFrame(data)
 	if err != nil {
 		return nil, err
 	}
-	if t != TypeITSInit || len(body) != 16 {
+	if t != TypeITSInit || len(body) < 16 {
 		return nil, fmt.Errorf("%w: not an ITS INIT", ErrBadFrame)
 	}
 	f := &ITSInit{}
 	copy(f.Leader[:], body[0:6])
 	copy(f.Client[:], body[6:12])
 	f.AirtimeUS = binary.LittleEndian.Uint32(body[12:16])
+	if len(body) > 16 {
+		r := bytes.NewReader(body[16:])
+		if f.TraceCtx, err = readBlob(r); err != nil {
+			return nil, err
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes", ErrBadFrame)
+		}
+	}
 	return f, nil
 }
 

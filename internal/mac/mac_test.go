@@ -36,8 +36,49 @@ func TestITSInitRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != *f {
+	if got.Leader != f.Leader || got.Client != f.Client || got.AirtimeUS != f.AirtimeUS {
 		t.Errorf("round trip mismatch: %+v vs %+v", got, f)
+	}
+	if got.TraceCtx != nil {
+		t.Errorf("trace-less INIT grew a TraceCtx: %v", got.TraceCtx)
+	}
+	// An empty TraceCtx must keep the legacy 16-byte body — the wire
+	// format (and thus airtime accounting) is unchanged unless tracing
+	// actually propagates.
+	if bodyLen := len(data) - headerBytes - trailerBytes; bodyLen != 16 {
+		t.Errorf("untraced INIT body = %d bytes, want legacy 16", bodyLen)
+	}
+}
+
+func TestITSInitTraceCtxRoundTrip(t *testing.T) {
+	tc := make([]byte, 25)
+	for i := range tc {
+		tc[i] = byte(i + 1)
+	}
+	tc[0] = 0 // version octet
+	f := &ITSInit{
+		Leader:    Addr{1, 2, 3, 4, 5, 6},
+		Client:    Addr{7, 8, 9, 10, 11, 12},
+		AirtimeUS: 4000,
+		TraceCtx:  tc,
+	}
+	got, err := UnmarshalITSInit(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.TraceCtx, tc) {
+		t.Errorf("TraceCtx round trip: %v vs %v", got.TraceCtx, tc)
+	}
+	if got.Leader != f.Leader || got.Client != f.Client || got.AirtimeUS != f.AirtimeUS {
+		t.Error("identity fields mismatch with TraceCtx present")
+	}
+	// A legacy decoder's strict 16-byte check would reject the extended
+	// frame, but a legacy *encoder*'s frames must parse here (covered by
+	// TestITSInitRoundTrip); and a truncated blob must not.
+	bad := f.Marshal()
+	bad = bad[:len(bad)-6] // chop into the blob and CRC
+	if _, err := UnmarshalITSInit(bad); err == nil {
+		t.Error("truncated TraceCtx frame parsed")
 	}
 }
 

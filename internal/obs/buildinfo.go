@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	rdebug "runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity served at /debug/buildinfo and
+// embedded in copaserve's /v1/healthz: enough to answer "which binary
+// is this host actually running?" during an incident.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for tree builds).
+	Version string `json:"version,omitempty"`
+	// Revision/Time/Dirty come from VCS stamping, when present.
+	Revision string `json:"vcs_revision,omitempty"`
+	Time     string `json:"vcs_time,omitempty"`
+	Dirty    bool   `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// ReadBuildInfo returns the binary's build identity, computed once.
+// Binaries built without module info (some test harnesses) still get
+// the Go version.
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := rdebug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

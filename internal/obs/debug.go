@@ -27,13 +27,21 @@ func PublishExpvar() {
 
 // DebugMux returns an http.ServeMux serving the operational surface:
 //
-//	/debug/vars     expvar JSON (all copa.* metrics via PublishExpvar)
-//	/debug/metrics  the registry snapshot as pretty JSON
-//	/debug/spans    the tracer's most recent spans, newest first
-//	/debug/pprof/*  the standard pprof endpoints
+//	/metrics          OpenMetrics text exposition (Prometheus-scrapable)
+//	/debug/vars       expvar JSON (all copa.* metrics via PublishExpvar)
+//	/debug/metrics    the registry snapshot as pretty JSON
+//	/debug/spans      the tracer's most recent spans, newest first;
+//	                  ?trace=<32-hex id> filters to one stitched trace,
+//	                  oldest first
+//	/debug/buildinfo  Go version, module version, VCS revision
+//	/debug/pprof/*    the standard pprof endpoints
 func DebugMux() *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		_ = WriteOpenMetrics(w, def.Snapshot())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -41,11 +49,21 @@ func DebugMux() *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(def.Snapshot())
 	})
-	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			_ = enc.Encode(defTracer.TraceSpans(id))
+			return
+		}
 		_ = enc.Encode(defTracer.Recent(0))
+	})
+	mux.HandleFunc("/debug/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ReadBuildInfo())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics / Prometheus text exposition for the registry, so any
+// standard scraper can pull the copa.* metrics without a bridge.
+//
+// Name mapping is mechanical: dots become underscores
+// ("copa.serve.requests" → "copa_serve_requests"), counters gain the
+// conventional _total suffix, timers render as histograms (their unit
+// is already seconds), and histogram buckets are emitted cumulatively
+// with the mandatory le="+Inf" terminal bucket, so
+// x_bucket{le="+Inf"} == x_count always holds. Families are sorted by
+// name, making the exposition deterministic for a given snapshot —
+// which is what the golden test pins.
+
+// ContentTypeOpenMetrics is the negotiated media type of the /metrics
+// endpoint.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders a snapshot in OpenMetrics text format,
+// terminated by the mandatory "# EOF" line.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	type family struct {
+		name string
+		emit func()
+	}
+	fams := make([]family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Timers))
+
+	for name, v := range s.Counters {
+		n, v := openMetricsName(name), v
+		fams = append(fams, family{n, func() {
+			bw.WriteString("# TYPE " + n + " counter\n")
+			bw.WriteString(n + "_total " + strconv.FormatUint(v, 10) + "\n")
+		}})
+	}
+	for name, v := range s.Gauges {
+		n, v := openMetricsName(name), v
+		fams = append(fams, family{n, func() {
+			bw.WriteString("# TYPE " + n + " gauge\n")
+			bw.WriteString(n + " " + formatFloat(v) + "\n")
+		}})
+	}
+	emitHist := func(n string, hv HistogramValue) func() {
+		return func() {
+			bw.WriteString("# TYPE " + n + " histogram\n")
+			var cum uint64
+			for i, b := range hv.Bounds {
+				cum += hv.Counts[i]
+				bw.WriteString(n + `_bucket{le="` + formatFloat(b) + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+			}
+			bw.WriteString(n + `_bucket{le="+Inf"} ` + strconv.FormatUint(hv.Count, 10) + "\n")
+			bw.WriteString(n + "_sum " + formatFloat(hv.Sum) + "\n")
+			bw.WriteString(n + "_count " + strconv.FormatUint(hv.Count, 10) + "\n")
+		}
+	}
+	for name, hv := range s.Histograms {
+		n := openMetricsName(name)
+		fams = append(fams, family{n, emitHist(n, hv)})
+	}
+	for name, hv := range s.Timers {
+		n := openMetricsName(name)
+		fams = append(fams, family{n, emitHist(n, hv)})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.emit()
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// openMetricsName maps a copa.* dotted name onto the exposition's
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset.
+func openMetricsName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// formatFloat renders a float the way the exposition formats expect:
+// shortest round-trip representation, with explicit +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpenMetricsGolden pins the exposition byte-for-byte for a fixed
+// registry: name mangling, _total suffixes, cumulative buckets with
+// +Inf, deterministic family ordering, and the # EOF terminator.
+func TestOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("copa.test.requests").Add(41)
+	r.Counter("copa.test.requests").Inc()
+	r.Gauge("copa.test.depth").Set(2.5)
+	h := r.Histogram("copa.test.size", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(100)
+	tm := r.Timer("copa.test.wait_seconds")
+	tm.Observe(500 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	// Timer bucket lines depend on the default timer bounds; pin the
+	// fixed families exactly and the timer family structurally.
+	want := `# TYPE copa_test_depth gauge
+copa_test_depth 2.5
+# TYPE copa_test_requests counter
+copa_test_requests_total 42
+# TYPE copa_test_size histogram
+copa_test_size_bucket{le="1"} 1
+copa_test_size_bucket{le="10"} 3
+copa_test_size_bucket{le="+Inf"} 4
+copa_test_size_sum 110.5
+copa_test_size_count 4
+`
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", got)
+	}
+	for _, line := range []string{
+		"# TYPE copa_test_wait_seconds histogram\n",
+		`copa_test_wait_seconds_bucket{le="+Inf"} 1` + "\n",
+		"copa_test_wait_seconds_sum 0.5\n",
+		"copa_test_wait_seconds_count 1\n",
+	} {
+		if !strings.Contains(got, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+
+	// Determinism: a second render of the same snapshot is identical.
+	var b2 strings.Builder
+	if err := WriteOpenMetrics(&b2, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatal("exposition is not deterministic across renders")
+	}
+}
+
+func TestOpenMetricsCumulativeInvariant(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("copa.test.inv", ExpBuckets(1, 2, 6))
+	for i := 0; i < 100; i++ {
+		h.ObserveInt(i % 50)
+	}
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative buckets must be non-decreasing and end at _count.
+	var prev, inf uint64
+	var count uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "copa_test_inv_bucket"):
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %d after %d", v, prev)
+			}
+			prev = v
+			if strings.Contains(line, "+Inf") {
+				inf = v
+			}
+		case strings.HasPrefix(line, "copa_test_inv_count"):
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if inf != count || count != 100 {
+		t.Fatalf("+Inf bucket %d, count %d, want both 100", inf, count)
+	}
+}
+
+func TestOpenMetricsNameMangling(t *testing.T) {
+	for in, want := range map[string]string{
+		"copa.serve.requests":   "copa_serve_requests",
+		"copa.its-leg.req":      "copa_its_leg_req",
+		"already_flat":          "already_flat",
+		"copa.campaign.shard.7": "copa_campaign_shard_7",
+	} {
+		if got := openMetricsName(in); got != want {
+			t.Fatalf("openMetricsName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	// The default registry backs /metrics; touch one metric so the
+	// endpoint has something to say regardless of test order.
+	C("copa.test.endpoint_hits").Inc()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	DebugMux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentTypeOpenMetrics {
+		t.Fatalf("Content-Type = %q, want %q", ct, ContentTypeOpenMetrics)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "copa_test_endpoint_hits_total") {
+		t.Fatalf("/metrics missing expected family:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatal("/metrics not EOF-terminated")
+	}
+}
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/debug/buildinfo", nil)
+	rec := httptest.NewRecorder()
+	DebugMux().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/buildinfo = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "go_version") {
+		t.Fatalf("buildinfo missing go_version:\n%s", rec.Body.String())
+	}
+}
+
+func TestRuntimeCollector(t *testing.T) {
+	stop := StartRuntimeCollector(time.Hour) // one synchronous sample
+	defer stop()
+	s := Default().Snapshot()
+	if s.Gauges["copa.runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines gauge = %v", s.Gauges["copa.runtime.goroutines"])
+	}
+	if s.Gauges["copa.runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatal("heap gauge not sampled")
+	}
+	// Restart replaces the previous collector without panicking.
+	stop2 := StartRuntimeCollector(time.Hour)
+	stop2()
+	stop() // stale stop is a safe no-op
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// The runtime collector samples the Go runtime into ordinary registry
+// metrics so goroutine leaks, heap growth, and GC pressure show up in
+// the same /metrics exposition as the pipeline counters — "p99 is bad
+// because the heap doubled" needs both on one dashboard.
+var (
+	rGoroutines  = G("copa.runtime.goroutines")
+	rHeapAlloc   = G("copa.runtime.heap_alloc_bytes")
+	rHeapObjects = G("copa.runtime.heap_objects")
+	rSysBytes    = G("copa.runtime.sys_bytes")
+	rNextGC      = G("copa.runtime.next_gc_bytes")
+	rGCCycles    = G("copa.runtime.gc_cycles")
+	rGCPauseTot  = G("copa.runtime.gc_pause_total_seconds")
+	// rGCPause distributes individual stop-the-world pauses, 1µs..~1s.
+	rGCPause = H("copa.runtime.gc_pause_seconds", ExpBuckets(1e-6, 4, 10))
+)
+
+// runtimeCollector serializes collector lifecycle: at most one sampling
+// goroutine per process, stopped and restarted freely.
+var runtimeCollector struct {
+	mu   sync.Mutex
+	stop chan struct{}
+	// lastGC tracks how far into MemStats.PauseNs history the collector
+	// has read, so each pause is observed exactly once.
+	lastGC uint32
+}
+
+// StartRuntimeCollector begins sampling goroutine count, heap usage,
+// and GC activity into copa.runtime.* metrics every interval (default
+// 5s). It returns a stop function; calling StartRuntimeCollector while
+// a collector runs replaces it. One immediate sample is taken
+// synchronously so the metrics exist before the first tick.
+func StartRuntimeCollector(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	runtimeCollector.mu.Lock()
+	if runtimeCollector.stop != nil {
+		close(runtimeCollector.stop)
+	}
+	ch := make(chan struct{})
+	runtimeCollector.stop = ch
+	runtimeCollector.mu.Unlock()
+
+	sampleRuntime()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sampleRuntime()
+			case <-ch:
+				return
+			}
+		}
+	}()
+	return func() {
+		runtimeCollector.mu.Lock()
+		defer runtimeCollector.mu.Unlock()
+		if runtimeCollector.stop == ch {
+			close(ch)
+			runtimeCollector.stop = nil
+		}
+	}
+}
+
+// sampleRuntime takes one reading. ReadMemStats stops the world
+// briefly; the default 5s cadence keeps that cost invisible.
+func sampleRuntime() {
+	rGoroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rHeapAlloc.Set(float64(ms.HeapAlloc))
+	rHeapObjects.Set(float64(ms.HeapObjects))
+	rSysBytes.Set(float64(ms.Sys))
+	rNextGC.Set(float64(ms.NextGC))
+	rGCCycles.Set(float64(ms.NumGC))
+	rGCPauseTot.Set(float64(ms.PauseTotalNs) / 1e9)
+
+	runtimeCollector.mu.Lock()
+	last := runtimeCollector.lastGC
+	runtimeCollector.lastGC = ms.NumGC
+	runtimeCollector.mu.Unlock()
+	if ms.NumGC > last {
+		// Observe each new pause once; the circular buffer holds 256.
+		n := ms.NumGC - last
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < n; i++ {
+			rGCPause.Observe(float64(ms.PauseNs[(ms.NumGC-1-i)%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+	}
+}

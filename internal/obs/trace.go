@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"io"
 	"sync"
 	"time"
 )
@@ -16,6 +18,15 @@ type SpanRecord struct {
 	// Err holds the error text for spans ended with EndErr, "" on
 	// success.
 	Err string `json:"err,omitempty"`
+	// Trace, ID and Parent link hierarchical spans (StartSpan/ChildSpan)
+	// into one request tree: all spans of a request share Trace, and
+	// Parent names the enclosing span's ID ("" for the root). Flat spans
+	// recorded with Tracer.Start leave all three empty.
+	Trace  string `json:"trace_id,omitempty"`
+	ID     string `json:"span_id,omitempty"`
+	Parent string `json:"parent_id,omitempty"`
+	// Attrs are the span's annotations, in SetAttr order.
+	Attrs []Attr `json:"attrs,omitempty"`
 }
 
 // Tracer records spans into a fixed-size ring buffer: the most recent
@@ -70,16 +81,21 @@ func (s Span) finish(errText string) {
 	if s.t == nil {
 		return
 	}
-	rec := SpanRecord{Name: s.name, Start: s.start, Duration: time.Since(s.start), Err: errText}
-	s.t.mu.Lock()
-	if len(s.t.ring) < cap(s.t.ring) {
-		s.t.ring = append(s.t.ring, rec)
+	s.t.record(SpanRecord{Name: s.name, Start: s.start, Duration: time.Since(s.start), Err: errText})
+}
+
+// record appends one finished span to the ring, overwriting the oldest
+// retained span once the ring is full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
 	} else {
-		s.t.ring[s.t.next] = rec
+		t.ring[t.next] = rec
 	}
-	s.t.next = (s.t.next + 1) % cap(s.t.ring)
-	s.t.total++
-	s.t.mu.Unlock()
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
 }
 
 // Event records an instantaneous, zero-duration span.
@@ -99,6 +115,41 @@ func (t *Tracer) Total() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// TraceSpans returns every retained span belonging to the given trace
+// ID (32 hex digits), oldest first — one stitched request tree, in
+// roughly causal order.
+func (t *Tracer) TraceSpans(traceID string) []SpanRecord {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	recent := t.Recent(0)
+	var out []SpanRecord
+	for i := len(recent) - 1; i >= 0; i-- { // Recent is newest-first
+		if recent[i].Trace == traceID {
+			out = append(out, recent[i])
+		}
+	}
+	return out
+}
+
+// WriteJSON dumps every retained span as an indented JSON array,
+// oldest first — the -trace-out format. Hierarchical spans carry
+// trace_id/span_id/parent_id so two processes' dumps can be joined on
+// trace_id; flat spans omit them.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	recent := t.Recent(0)
+	// Reverse newest-first into causal order.
+	for i, j := 0, len(recent)-1; i < j; i, j = i+1, j-1 {
+		recent[i], recent[j] = recent[j], recent[i]
+	}
+	if recent == nil {
+		recent = []SpanRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recent)
 }
 
 // Recent returns up to n retained spans, newest first. n <= 0 returns

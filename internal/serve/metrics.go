@@ -25,6 +25,7 @@ var (
 
 	// Evaluator pool behaviour.
 	mBatches         = obs.C("copa.serve.batches")
+	mQueueSeconds    = obs.T("copa.serve.queue_seconds")
 	mBatchSize       = obs.H("copa.serve.batch_size", obs.LinearBuckets(1, 1, 16))
 	mBatchShared     = obs.C("copa.serve.batch_shared_evals")
 	mEvaluateSeconds = obs.T("copa.serve.evaluate_seconds")

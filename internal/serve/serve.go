@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"copa/internal/channel"
+	"copa/internal/obs"
 	"copa/internal/precoding"
 	"copa/internal/rng"
 	"copa/internal/strategy"
@@ -223,6 +224,14 @@ type call struct {
 	req      Request
 	f        *flight
 	deadline time.Time
+	enqueued time.Time
+	// ctx carries the request's trace identity (never its cancellation —
+	// abandoned flights still complete). stage is the currently-open
+	// pipeline-stage span: serve.queue while queued, serve.batch during
+	// batch assembly, serve.evaluate during evaluation. It is nil for
+	// untraced requests; every transition is nil-safe.
+	ctx   context.Context
+	stage *obs.ActiveSpan
 }
 
 // Server is the allocation service. Create with New; it is safe for
@@ -275,50 +284,79 @@ func (s *Server) keyFor(req Request) key {
 // returned bool reports whether the result was served without a
 // dedicated evaluation (cache hit or piggybacked on an identical
 // in-flight request). Cache hits are allocation-free.
-func (s *Server) Allocate(ctx context.Context, req Request) (*Result, bool, error) {
+//
+// When ctx carries a sampled trace (obs.StartSpan at the transport
+// edge), the request records a serve.allocate span with one child per
+// pipeline stage — serve.cache, serve.admission, serve.queue,
+// serve.batch, serve.evaluate — so a slow allocate decomposes into the
+// stage that cost it. Untraced contexts skip all span work, preserving
+// the allocation-free cache-hit contract.
+func (s *Server) Allocate(ctx context.Context, req Request) (res *Result, shared bool, err error) {
 	mRequests.Inc()
 	defer mRequestSeconds.Begin().End()
+	if sp := obs.ChildSpan(ctx, "serve.allocate"); sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp.Context())
+		defer func() { sp.EndErr(err) }()
+	}
 	k := s.keyFor(req)
 
+	// Stage: cache — the lock-held lookup against the result cache and
+	// the in-flight table.
+	cSpan := obs.ChildSpan(ctx, "serve.cache")
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		cSpan.EndErr(ErrServerClosed)
 		mShedClosed.Inc()
 		return nil, false, ErrServerClosed
 	}
 	if res, ok := s.cache.get(k); ok {
 		s.mu.Unlock()
+		cSpan.SetAttr("cache", "hit")
+		cSpan.End()
 		mCacheHits.Inc()
 		return res, true, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
+		cSpan.SetAttr("cache", "inflight")
+		cSpan.End()
 		mInflightDedup.Inc()
 		res, err := awaitFlight(ctx, f)
 		return res, true, err
 	}
+	cSpan.SetAttr("cache", "miss")
+	cSpan.End()
 	mCacheMisses.Inc()
+
+	// Stage: admission — registering the flight and entering the queue.
+	aSpan := obs.ChildSpan(ctx, "serve.admission")
 	f := &flight{done: make(chan struct{})}
 	s.inflight[k] = f
 	s.admitWG.Add(1)
 	s.mu.Unlock()
 
-	deadline := time.Now().Add(s.cfg.DefaultDeadline)
+	now := time.Now()
+	deadline := now.Add(s.cfg.DefaultDeadline)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	c := &call{key: k, req: req, f: f, deadline: deadline}
+	c := &call{key: k, req: req, f: f, deadline: deadline, enqueued: now, ctx: ctx}
+	c.stage = obs.ChildSpan(ctx, "serve.queue")
 	select {
 	case s.queue <- c:
 		s.admitWG.Done()
+		aSpan.End()
 		mQueueDepth.Set(float64(len(s.queue)))
 	default:
 		s.admitWG.Done()
+		c.stage.EndErr(ErrQueueFull)
+		aSpan.EndErr(ErrQueueFull)
 		mShedQueueFull.Inc()
 		s.finish(c, nil, ErrQueueFull)
 		return nil, false, ErrQueueFull
 	}
-	res, err := awaitFlight(ctx, f)
+	res, err = awaitFlight(ctx, f)
 	return res, false, err
 }
 
@@ -354,6 +392,7 @@ func (s *Server) worker() {
 	ws := &precoding.Workspace{}
 	var batch []*call
 	for c := range s.queue {
+		s.pickup(c)
 		batch = append(batch[:0], c)
 		if s.cfg.MaxBatch > 1 {
 			batch = s.coalesce(batch)
@@ -361,6 +400,15 @@ func (s *Server) worker() {
 		mQueueDepth.Set(float64(len(s.queue)))
 		s.runBatch(ws, batch)
 	}
+}
+
+// pickup marks a call's transition out of the queue into a batch under
+// assembly: the queue-wait stage ends (timed into mQueueSeconds), the
+// batch-assembly stage begins.
+func (s *Server) pickup(c *call) {
+	mQueueSeconds.Observe(time.Since(c.enqueued))
+	c.stage.End()
+	c.stage = obs.ChildSpan(c.ctx, "serve.batch")
 }
 
 // coalesce grows a batch with requests that are already queued or
@@ -373,6 +421,7 @@ func (s *Server) coalesce(batch []*call) []*call {
 				if !ok {
 					return batch
 				}
+				s.pickup(c)
 				batch = append(batch, c)
 			default:
 				return batch
@@ -388,6 +437,7 @@ func (s *Server) coalesce(batch []*call) []*call {
 			if !ok {
 				return batch
 			}
+			s.pickup(c)
 			batch = append(batch, c)
 		case <-t.C:
 			return batch
@@ -428,11 +478,14 @@ func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
 	now := time.Now()
 	live := group[:0]
 	for _, c := range group {
+		c.stage.End() // batch assembly is over for every group member
 		if now.After(c.deadline) {
+			c.stage = nil
 			mShedExpired.Inc()
 			s.finish(c, nil, ErrExpired)
 			continue
 		}
+		c.stage = obs.ChildSpan(c.ctx, "serve.evaluate")
 		live = append(live, c)
 	}
 	if len(live) == 0 {
@@ -443,6 +496,10 @@ func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
 	ws.Reset()
 	outs, err := evaluateWorld(ws, live[0].req, s.cfg.Coherence)
 	sample.End()
+	for _, c := range live {
+		c.stage.EndErr(err)
+		c.stage = nil
+	}
 	if err != nil {
 		mEvaluateErrors.Inc()
 		for _, c := range live {

@@ -1,0 +1,34 @@
+package copa
+
+import (
+	"regexp"
+	"testing"
+
+	// Blank imports pull in metric registrations from packages the
+	// facade does not re-export, so the lint sees the whole registry.
+	_ "copa/internal/campaign"
+	_ "copa/internal/medium"
+)
+
+// metricNameRE is the repo's metric naming convention: dot-separated
+// lowercase segments rooted at "copa.", each segment starting with a
+// letter ("copa.serve.queue_seconds", "copa.campaign.shard_progress.s3").
+// OpenMetrics exposition mangles the dots to underscores, so anything
+// matching here is also a valid Prometheus family name.
+var metricNameRE = regexp.MustCompile(`^copa(\.[a-z][a-z0-9_]*)+$`)
+
+// TestMetricNameLint walks every metric registered by any imported
+// package and rejects names outside the convention. New metrics that
+// fail here would otherwise surface as inconsistent or unscrapable
+// families on /metrics. Wired into `make check` and CI.
+func TestMetricNameLint(t *testing.T) {
+	names := Metrics().Names()
+	if len(names) == 0 {
+		t.Fatal("no metrics registered; lint has nothing to check")
+	}
+	for _, n := range names {
+		if !metricNameRE.MatchString(n) {
+			t.Errorf("metric %q violates naming convention %s", n, metricNameRE)
+		}
+	}
+}

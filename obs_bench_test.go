@@ -6,6 +6,8 @@
 package copa
 
 import (
+	"context"
+	"io"
 	"testing"
 
 	"copa/internal/channel"
@@ -69,4 +71,66 @@ func BenchmarkEvaluateAllInstrumented(b *testing.B) { benchEvaluateAll(b) }
 func BenchmarkEvaluateAllDisabled(b *testing.B) {
 	defer obs.Disabled()()
 	benchEvaluateAll(b)
+}
+
+// BenchmarkSpanOverheadEnabled times one hierarchical child span
+// (start + end + ring record) under a live sampled trace — the
+// per-stage cost a traced request pays at every pipeline hop.
+func BenchmarkSpanOverheadEnabled(b *testing.B) {
+	obs.SetTraceSampling(1)
+	ctx, root := obs.StartSpan(context.Background(), "bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.ChildSpan(ctx, "bench.child").End()
+	}
+}
+
+// BenchmarkSpanOverheadDisabled is the same call pattern with the obs
+// gate off: the instrumentation an untraced deployment carries. Pinned
+// at zero allocs/op by the perf gate — if this allocates, every
+// library call site regressed at once.
+func BenchmarkSpanOverheadDisabled(b *testing.B) {
+	defer obs.Disabled()()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanCtx, span := obs.StartSpan(ctx, "bench.span")
+		_ = spanCtx
+		span.End()
+	}
+}
+
+// BenchmarkOpenMetricsExposition snapshots and renders a registry of
+// realistic size (the cost of one /metrics scrape) — a fixed synthetic
+// registry rather than the live one, so allocs/op is deterministic for
+// the perf gate regardless of what ran before in the bench binary.
+func BenchmarkOpenMetricsExposition(b *testing.B) {
+	r := obs.NewRegistry()
+	src := rng.New(7)
+	for i := 0; i < 60; i++ {
+		r.Counter(benchMetricName("copa.bench.counter", i)).Add(uint64(src.Intn(1 << 20)))
+	}
+	for i := 0; i < 20; i++ {
+		r.Gauge(benchMetricName("copa.bench.gauge", i)).Set(src.Float64() * 1000)
+	}
+	for i := 0; i < 10; i++ {
+		h := r.Histogram(benchMetricName("copa.bench.hist", i), obs.ExpBuckets(1e-6, 4, 10))
+		for j := 0; j < 100; j++ {
+			h.Observe(src.Float64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WriteOpenMetrics(io.Discard, r.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMetricName(prefix string, i int) string {
+	return prefix + string(rune('a'+i/10)) + string(rune('a'+i%10))
 }
