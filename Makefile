@@ -6,11 +6,11 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition|FleetMergeShard
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
-.PHONY: all build test race vet check bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke clean
+.PHONY: all build test race vet check bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke fleet-smoke clean
 
 all: build test
 
@@ -87,6 +87,14 @@ campaign:
 # resume golden tests and the CLI end-to-end suite, under -race.
 campaign-smoke:
 	$(GO) test -race -run 'TestRun|TestCampaign' ./internal/campaign ./cmd/copacampaign ./internal/testbed
+
+# fleet-smoke is the CI distribution gate: the byte-identity goldens
+# (N workers, worker killed mid-lease, coordinator kill/resume, lossy
+# transport) under -race, then a scripted two-process coordinator/worker
+# run cmp'd against a single-process run of the same spec.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleet|TestRunFleet' ./internal/fleet ./cmd/copacampaign
+	./scripts/fleet_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunFleetEndToEnd drives the full two-role CLI path: a pure
+// coordinator (-workers 0, so every unit is evaluated remotely) plus
+// one -join worker (same binary, second run() call), output
+// byte-identical to the plain in-process run.
+func TestRunFleetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	localOut := filepath.Join(dir, "local.json")
+	if code := run(campaignArgs("-out", localOut), os.Stdout); code != 0 {
+		t.Fatalf("local run exit code %d", code)
+	}
+	want, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleetOut := filepath.Join(dir, "fleet.json")
+	addrFile := filepath.Join(dir, "coordinator.url")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	coordCode := -1
+	go func() {
+		defer wg.Done()
+		coordCode = run(campaignArgs(
+			"-serve-coordinator", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "0",
+			"-out", fleetOut,
+		), os.Stdout)
+	}()
+
+	// The -addr-file handshake: poll until the coordinator announces
+	// where it bound, exactly as a wrapper script would.
+	var base string
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); time.Sleep(10 * time.Millisecond) {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base = strings.TrimSpace(string(data))
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("coordinator never wrote -addr-file")
+	}
+
+	if code := run([]string{"-join", base, "-workers", "2", "-q"}, os.Stdout); code != 0 {
+		t.Fatalf("worker exit code %d", code)
+	}
+	wg.Wait()
+	if coordCode != 0 {
+		t.Fatalf("coordinator exit code %d", coordCode)
+	}
+
+	got, err := os.ReadFile(fleetOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet CLI output differs from in-process CLI output")
+	}
+}
+
+func TestRunFleetFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-serve-coordinator", ":0", "-join", "http://x"},
+		{"-join", "http://x", "-checkpoint", "c.jsonl"},
+		{"-join", "http://x", "-workers", "0"},
+		{"-addr-file", "a.url"},
+		{"-serve-coordinator", ":0", "-lease-ttl", "0s"},
+	}
+	for _, args := range cases {
+		if code := run(append(campaignArgs(), args...), os.Stdout); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}

@@ -127,8 +127,8 @@ func (s Spec) Cells() int { return len(s.Profiles) * s.AgeBuckets }
 // Shards topology ranges.
 func (s Spec) Units() int { return s.Cells() * s.Shards }
 
-// unitCoord decodes unit u into its grid coordinates.
-func (s Spec) unitCoord(u int) (profile, age, shard int) {
+// UnitCoord decodes unit u into its grid coordinates.
+func (s Spec) UnitCoord(u int) (profile, age, shard int) {
 	cell := u / s.Shards
 	return cell / s.AgeBuckets, cell % s.AgeBuckets, u % s.Shards
 }
@@ -189,15 +189,15 @@ func (c *Column) Merge(o *Column) {
 	c.Sketch.Merge(o.Sketch)
 }
 
-// unitResult is one completed work unit's aggregates — what workers
+// UnitResult is one completed work unit's aggregates — what workers
 // emit, the journal records, and the finalizer merges.
-type unitResult struct {
+type UnitResult struct {
 	Unit    int                `json:"unit"`
 	Columns map[string]*Column `json:"columns"`
 }
 
 // col returns (creating if needed) a named column.
-func (r *unitResult) col(name string) *Column {
+func (r *UnitResult) col(name string) *Column {
 	c, ok := r.Columns[name]
 	if !ok {
 		c = NewColumn()

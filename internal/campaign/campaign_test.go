@@ -94,7 +94,7 @@ func TestShardRangePartition(t *testing.T) {
 
 	seen := make(map[[3]int]bool)
 	for u := 0; u < s.Units(); u++ {
-		p, a, sh := s.unitCoord(u)
+		p, a, sh := s.UnitCoord(u)
 		if p < 0 || p >= len(s.Profiles) || a < 0 || a >= s.AgeBuckets || sh < 0 || sh >= s.Shards {
 			t.Fatalf("unit %d decodes out of range: (%d,%d,%d)", u, p, a, sh)
 		}

@@ -28,20 +28,20 @@ type journalHeader struct {
 	Spec        Spec   `json:"spec"`
 }
 
-// journal appends completed units to the checkpoint file.
-type journal struct {
+// Journal appends completed units to the checkpoint file.
+type Journal struct {
 	f *os.File
 	w *bufio.Writer
 }
 
-// openJournal opens (or creates) the checkpoint at path for spec.
+// OpenJournal opens (or creates) the checkpoint at path for spec.
 // Resume selects whether an existing file is loaded or an error: a
 // fresh campaign refuses to silently clobber a prior checkpoint unless
 // it is told to resume it. The returned map holds the units already
 // completed (empty for a fresh file).
-func openJournal(path string, spec Spec, resume bool) (*journal, map[int]*unitResult, error) {
+func OpenJournal(path string, spec Spec, resume bool) (*Journal, map[int]*UnitResult, error) {
 	fp := spec.Fingerprint()
-	done := make(map[int]*unitResult)
+	done := make(map[int]*UnitResult)
 
 	if _, err := os.Stat(path); err == nil {
 		if !resume {
@@ -64,14 +64,14 @@ func openJournal(path string, spec Spec, resume bool) (*journal, map[int]*unitRe
 			f.Close()
 			return nil, nil, err
 		}
-		return &journal{f: f, w: bufio.NewWriter(f)}, units, nil
+		return &Journal{f: f, w: bufio.NewWriter(f)}, units, nil
 	}
 
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &journal{f: f, w: bufio.NewWriter(f)}
+	j := &Journal{f: f, w: bufio.NewWriter(f)}
 	if err := j.writeLine(journalHeader{V: journalVersion, Fingerprint: fp, Spec: spec}); err != nil {
 		f.Close()
 		return nil, nil, err
@@ -83,12 +83,12 @@ func openJournal(path string, spec Spec, resume bool) (*journal, map[int]*unitRe
 // valid prefix and the units it records. A header that fails to parse
 // or belongs to a different spec is an error; a trailing partial line
 // is tolerated (it marks the cut point).
-func loadJournal(path string, spec Spec, fingerprint string) (int64, map[int]*unitResult, error) {
+func loadJournal(path string, spec Spec, fingerprint string) (int64, map[int]*UnitResult, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, nil, err
 	}
-	units := make(map[int]*unitResult)
+	units := make(map[int]*UnitResult)
 	var offset int64
 	first := true
 	for len(data) > 0 {
@@ -110,7 +110,7 @@ func loadJournal(path string, spec Spec, fingerprint string) (int64, map[int]*un
 			}
 			first = false
 		} else {
-			var u unitResult
+			var u UnitResult
 			if err := json.Unmarshal(line, &u); err != nil {
 				break // torn or corrupt tail line: truncate here
 			}
@@ -130,7 +130,7 @@ func loadJournal(path string, spec Spec, fingerprint string) (int64, map[int]*un
 
 // writeLine appends one JSON line and flushes it to the OS, so a
 // completed unit survives any subsequent kill of the process.
-func (j *journal) writeLine(v any) error {
+func (j *Journal) writeLine(v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -141,11 +141,11 @@ func (j *journal) writeLine(v any) error {
 	return j.w.Flush()
 }
 
-// record journals one completed unit.
-func (j *journal) record(u *unitResult) error { return j.writeLine(u) }
+// Record journals one completed unit.
+func (j *Journal) Record(u *UnitResult) error { return j.writeLine(u) }
 
-// close flushes and closes the file.
-func (j *journal) close() error {
+// Close flushes and closes the file.
+func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}

@@ -68,17 +68,17 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	mRuns.Inc()
 
 	total := spec.Units()
-	results := make([]*unitResult, total)
-	var jnl *journal
+	results := make([]*UnitResult, total)
+	var jnl *Journal
 	if opt.Checkpoint != "" {
-		var done map[int]*unitResult
+		var done map[int]*UnitResult
 		var err error
-		jnl, done, err = openJournal(opt.Checkpoint, spec, opt.Resume)
+		jnl, done, err = OpenJournal(opt.Checkpoint, spec, opt.Resume)
 		if err != nil {
 			runErr = err
 			return nil, err
 		}
-		defer jnl.close()
+		defer jnl.Close()
 		for u, res := range done {
 			results[u] = res
 		}
@@ -91,7 +91,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	// ends the feeder — workers then drain the closed feed and exit,
 	// closing out via the WaitGroup.
 	feed := make(chan int)
-	out := make(chan *unitResult)
+	out := make(chan *UnitResult)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	abort := func() { stopOnce.Do(func() { close(stop) }) }
@@ -142,7 +142,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 				usp := obs.ChildSpan(ctx, "campaign.unit")
 				usp.SetAttr("unit", strconv.Itoa(u))
 				sample := mUnitSeconds.Begin()
-				res, err := evalUnit(spec, u, ws, checkCancel)
+				res, err := EvalUnit(spec, u, ws, checkCancel)
 				sample.End()
 				usp.EndErr(err)
 				mUnitsInFlight.Add(-1)
@@ -173,11 +173,11 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	completed := 0
 	unitsPerShard := spec.Cells()
 	shardDone := make([]int, spec.Shards)
-	gauges := shardGauges(spec.Shards)
+	gauges := ShardGauges(spec.Shards)
 	for u := range total {
 		if results[u] != nil {
 			completed++
-			_, _, sh := spec.unitCoord(u)
+			_, _, sh := spec.UnitCoord(u)
 			shardDone[sh]++
 		}
 	}
@@ -190,7 +190,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 		results[res.Unit] = res
 		completed++
 		mUnitsDone.Inc()
-		_, _, sh := spec.unitCoord(res.Unit)
+		_, _, sh := spec.UnitCoord(res.Unit)
 		shardDone[sh]++
 		gauges[sh].Set(float64(shardDone[sh]) / float64(unitsPerShard))
 
@@ -208,7 +208,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 
 		if jnl != nil {
 			ckSpan := obs.ChildSpan(ctx, "campaign.checkpoint")
-			err := jnl.record(res)
+			err := jnl.Record(res)
 			ckSpan.EndErr(err)
 			if err != nil {
 				fail(fmt.Errorf("campaign: journaling unit %d: %w", res.Unit, err))
@@ -250,19 +250,28 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 // one fixed order that makes the floating-point Moments merge, and
 // therefore the serialized Result, byte-identical across worker
 // counts, interleavings, and resumes.
-func finalize(spec Spec, results []*unitResult) *Result {
+func finalize(spec Spec, results []*UnitResult) *Result {
 	res := &Result{Spec: spec, Units: len(results), Columns: make(map[string]*Column)}
 	for _, ur := range results {
-		for _, name := range sortedColNames(ur.Columns) {
-			c, ok := res.Columns[name]
-			if !ok {
-				c = NewColumn()
-				res.Columns[name] = c
-			}
-			c.Merge(ur.Columns[name])
-		}
+		MergeUnit(res.Columns, ur)
 	}
 	return res
+}
+
+// MergeUnit folds one unit's aggregates into the accumulator map,
+// creating columns on first sight. It visits the unit's columns in
+// sorted name order, so callers that feed units in ascending unit order
+// — the engine's finalizer and the fleet coordinator's streaming merge
+// — produce identical floating-point results and identical bytes.
+func MergeUnit(into map[string]*Column, ur *UnitResult) {
+	for _, name := range sortedColNames(ur.Columns) {
+		c, ok := into[name]
+		if !ok {
+			c = NewColumn()
+			into[name] = c
+		}
+		c.Merge(ur.Columns[name])
+	}
 }
 
 func sortedColNames(cols map[string]*Column) []string {

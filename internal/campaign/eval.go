@@ -107,19 +107,19 @@ func EvaluateTopology(dep *channel.Deployment, imp channel.Impairments, src *rng
 	return out, nil
 }
 
-// evalUnit computes one work unit: every topology in the unit's shard
+// EvalUnit computes one work unit: every topology in the unit's shard
 // range, evaluated under the unit's (profile, age) cell, folded into
 // fresh per-column aggregates. Everything it consumes derives
 // statelessly from the spec, so any worker computing unit u — on any
 // run, after any resume — produces identical bytes. checkCancel is
 // polled between topologies so cancellation aborts mid-unit without
 // journaling a partial result.
-func evalUnit(spec Spec, u int, ws *precoding.Workspace, checkCancel func() error) (*unitResult, error) {
-	p, age, shard := spec.unitCoord(u)
+func EvalUnit(spec Spec, u int, ws *precoding.Workspace, checkCancel func() error) (*UnitResult, error) {
+	p, age, shard := spec.UnitCoord(u)
 	prof := spec.Profiles[p]
 	imp := prof.Impairments.Aged(float64(age) / float64(spec.AgeBuckets))
 	lo, hi := spec.shardRange(shard)
-	res := &unitResult{Unit: u, Columns: make(map[string]*Column)}
+	res := &UnitResult{Unit: u, Columns: make(map[string]*Column)}
 	opt := EvalOptions{
 		MultiDecoder: spec.MultiDecoder,
 		SkipCOPAPlus: spec.SkipCOPAPlus,

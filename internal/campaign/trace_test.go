@@ -79,7 +79,7 @@ func TestCampaignShardProgressGauges(t *testing.T) {
 	if _, err := Run(context.Background(), spec, Options{Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
-	for sh, g := range shardGauges(spec.Shards) {
+	for sh, g := range ShardGauges(spec.Shards) {
 		if v := g.Value(); v != 1.0 {
 			t.Errorf("shard %d progress = %v, want 1.0", sh, v)
 		}

@@ -1,0 +1,164 @@
+// Package fleet distributes a campaign over the network: a coordinator
+// decomposes a campaign.Spec into the same deterministic work units the
+// single-process engine schedules, leases them to remote workers over a
+// small HTTP/JSON protocol, and streams the returned per-unit
+// aggregates into a merge that runs in ascending unit order — so the
+// final Result is byte-identical to campaign.Run on the same spec, no
+// matter how many workers took part, which of them died, or how often
+// the transport duplicated a response.
+//
+// The division of labor mirrors the in-process engine (DESIGN §10):
+//
+//   - The coordinator is the feeder + collector. It owns the unit
+//     queue, grants time-limited leases (TTL + heartbeat renewal;
+//     expiry returns the unit to the queue for reassignment), journals
+//     every accepted unit through the campaign checkpoint layer, and
+//     merges buffered results the moment the next-in-order unit lands.
+//   - A worker is the evaluator loop: it joins (fingerprint-checked
+//     against the coordinator's spec, so mismatched binaries or configs
+//     are rejected before any work is leased), then repeatedly leases a
+//     unit, runs campaign.EvalUnit on its own arena, and posts the
+//     result back, renewing its leases from a background heartbeat.
+//
+// Safety rests on two properties the campaign engine already
+// guarantees: units are deterministic (any worker computing unit u
+// produces identical bytes, so duplicated or racing completions dedup
+// by unit index), and merge order is fixed (ascending unit), so the
+// coordinator can merge eagerly yet reproduce the single-process
+// floating-point sequence exactly. A killed coordinator resumes from
+// its checkpoint without re-running completed shards; a killed worker
+// just stops heartbeating and its leases expire back into the queue.
+//
+// Every RPC carries W3C trace context: the coordinator roots one trace
+// per campaign and hands its traceparent to joining workers, so unit
+// spans evaluated three processes away stitch into the same TraceID.
+package fleet
+
+import (
+	"copa/internal/campaign"
+)
+
+// ProtocolVersion gates the wire protocol. A worker and coordinator
+// must agree exactly; there is no negotiation — fleets are deployed
+// from one binary.
+const ProtocolVersion = 1
+
+// Fleet RPC paths, rooted under the coordinator's mux.
+const (
+	PathSpec      = "/fleet/v1/spec"
+	PathJoin      = "/fleet/v1/join"
+	PathLease     = "/fleet/v1/lease"
+	PathHeartbeat = "/fleet/v1/heartbeat"
+	PathComplete  = "/fleet/v1/complete"
+)
+
+// SpecResponse is the GET /fleet/v1/spec reply: everything a worker
+// needs to decide whether it can serve this campaign. The worker
+// recomputes the fingerprint from the decoded spec; a mismatch means
+// the two binaries do not even agree on what the spec *is* (field
+// drift, version skew) and the worker refuses to join.
+type SpecResponse struct {
+	Protocol    int           `json:"protocol"`
+	Fingerprint string        `json:"fingerprint"`
+	Spec        campaign.Spec `json:"spec"`
+}
+
+// JoinRequest registers a worker. The fingerprint is the worker's own
+// computation over the spec it fetched; the coordinator rejects any
+// value other than its own.
+type JoinRequest struct {
+	Protocol    int    `json:"protocol"`
+	Fingerprint string `json:"fingerprint"`
+	// Name labels the worker in logs and lease journals (host:pid by
+	// default); it has no protocol meaning.
+	Name string `json:"name,omitempty"`
+}
+
+// JoinResponse assigns the worker its identity and operating
+// parameters.
+type JoinResponse struct {
+	// Worker is the coordinator-assigned worker index (dense, small:
+	// it names the copa.fleet.worker_units_per_sec.w<k> gauge).
+	Worker int `json:"worker"`
+	// Epoch identifies this coordinator incarnation. Requests carrying
+	// a stale epoch are rejected with HTTP 409 — the worker rejoins.
+	Epoch int64 `json:"epoch"`
+	// LeaseTTLMS is the lease lifetime; workers must heartbeat well
+	// inside it (the worker defaults to TTL/3).
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// Traceparent is the campaign root span's W3C trace context; the
+	// worker parents all its unit spans under it so one campaign is one
+	// TraceID across every process.
+	Traceparent string `json:"traceparent,omitempty"`
+}
+
+// Lease status values.
+const (
+	// StatusLease: a unit was granted.
+	StatusLease = "lease"
+	// StatusWait: nothing grantable right now (all remaining units are
+	// leased out); retry after WaitMS.
+	StatusWait = "wait"
+	// StatusDone: the campaign is complete; the worker should exit.
+	StatusDone = "done"
+)
+
+// LeaseRequest asks for the next work unit.
+type LeaseRequest struct {
+	Worker int   `json:"worker"`
+	Epoch  int64 `json:"epoch"`
+}
+
+// LeaseResponse grants a unit, asks the worker to wait, or announces
+// completion.
+type LeaseResponse struct {
+	Status string `json:"status"`
+	Unit   int    `json:"unit,omitempty"`
+	// Lease is the grant's token; complete and heartbeat quote it.
+	Lease  int64 `json:"lease,omitempty"`
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// HeartbeatRequest renews the worker's outstanding leases.
+type HeartbeatRequest struct {
+	Worker int     `json:"worker"`
+	Epoch  int64   `json:"epoch"`
+	Leases []int64 `json:"leases,omitempty"`
+}
+
+// HeartbeatResponse reports which quoted leases the coordinator no
+// longer honors (expired and possibly reassigned; the worker may abort
+// those units — finishing them is harmless, the completion dedups).
+type HeartbeatResponse struct {
+	Expired []int64 `json:"expired,omitempty"`
+	Done    bool    `json:"done"`
+}
+
+// CompleteRequest posts one evaluated unit. Results are deterministic
+// per unit, so the coordinator accepts the first completion of a unit
+// from anyone — even one whose lease expired — and dedups the rest.
+type CompleteRequest struct {
+	Worker int                  `json:"worker"`
+	Epoch  int64                `json:"epoch"`
+	Lease  int64                `json:"lease"`
+	Result *campaign.UnitResult `json:"result"`
+	// Seconds is the unit's evaluation wall time, for the
+	// coordinator's per-worker throughput gauges.
+	Seconds float64 `json:"seconds"`
+}
+
+// CompleteResponse acknowledges a posted unit.
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+	// Duplicate marks a unit that had already been completed (by this
+	// worker via a duplicated request, or by another worker after a
+	// lease reassignment). The bytes were identical by construction, so
+	// the result was simply dropped.
+	Duplicate bool `json:"duplicate,omitempty"`
+	Done      bool `json:"done"`
+}
+
+// errorResponse is every non-2xx fleet RPC body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

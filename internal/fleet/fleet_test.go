@@ -1,0 +1,546 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"copa/internal/campaign"
+	"copa/internal/channel"
+	"copa/internal/obs"
+	"copa/internal/rng"
+)
+
+// testSpec mirrors internal/campaign's: two grid cells, three shards,
+// uneven shard sizes — 6 units total, all fast 1x1 evaluations.
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Seed:       42,
+		Scenario:   channel.Scenario1x1,
+		Topologies: 7,
+		Shards:     3,
+		Profiles: []campaign.Profile{
+			{Name: "default", Impairments: channel.DefaultImpairments()},
+			{Name: "perfect", Impairments: channel.PerfectHardware()},
+		},
+		AgeBuckets:   1,
+		SkipCOPAPlus: true,
+	}
+}
+
+func marshalResult(t *testing.T, res *campaign.Result) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// singleProcessBytes is the golden: what campaign.Run emits for spec.
+func singleProcessBytes(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	res, err := campaign.Run(context.Background(), spec, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshalResult(t, res)
+}
+
+// startFleet spins a coordinator and its httptest server, torn down
+// with the test.
+func startFleet(t *testing.T, spec campaign.Spec, opt CoordinatorOptions) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	coord, err := NewCoordinator(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() { srv.Close(); coord.Close() })
+	return coord, srv
+}
+
+// runWorkers launches n workers against url and returns a channel of
+// their exit errors.
+func runWorkers(ctx context.Context, url string, n int, opt WorkerOptions) chan error {
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() { errs <- RunWorker(ctx, url, opt) }()
+	}
+	return errs
+}
+
+func waitResult(t *testing.T, coord *Coordinator) *campaign.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	return res
+}
+
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessBytes(t, spec)
+	for _, workers := range []int{1, 3} {
+		before := obs.Default().Snapshot()
+		coord, srv := startFleet(t, spec, CoordinatorOptions{})
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		errs := runWorkers(ctx, srv.URL, workers, WorkerOptions{Parallel: 2})
+		res := waitResult(t, coord)
+		for i := 0; i < workers; i++ {
+			if err := <-errs; err != nil {
+				t.Errorf("workers=%d: worker exited with %v", workers, err)
+			}
+		}
+		cancel()
+		if got := marshalResult(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: fleet result differs from single-process run", workers)
+		}
+		after := obs.Default().Snapshot()
+		if got := after.Counters["copa.fleet.units_merged"] - before.Counters["copa.fleet.units_merged"]; got != uint64(spec.Units()) {
+			t.Errorf("workers=%d: units_merged advanced by %d, want %d", workers, got, spec.Units())
+		}
+		if after.Counters["copa.fleet.workers_joined"] <= before.Counters["copa.fleet.workers_joined"] {
+			t.Errorf("workers=%d: workers_joined did not advance", workers)
+		}
+		// Satellite: shard progress gauges must reflect REMOTE
+		// completions — every unit here was evaluated out-of-process.
+		for sh := 0; sh < spec.Shards; sh++ {
+			name := "copa.campaign.shard_progress.s" + string(rune('0'+sh))
+			if g := after.Gauges[name]; g != 1 {
+				t.Errorf("workers=%d: %s = %v, want 1 (remote completions must count)", workers, name, g)
+			}
+		}
+	}
+}
+
+// TestFleetWorkerKillMidLease kills a worker while it holds a lease:
+// the lease must expire, the unit must be reassigned to the surviving
+// worker, and the merged bytes must not move.
+func TestFleetWorkerKillMidLease(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessBytes(t, spec)
+	before := obs.Default().Snapshot()
+
+	ttl := 150 * time.Millisecond
+	coord, srv := startFleet(t, spec, CoordinatorOptions{LeaseTTL: ttl, GrantWait: 20 * time.Millisecond})
+
+	// The doomed worker: join and lease one unit by hand, then vanish
+	// without completing or heartbeating — deterministic death, unlike
+	// cancelling a goroutine mid-evaluation.
+	var jr JoinResponse
+	postJSON(t, srv.URL+PathJoin, JoinRequest{Protocol: ProtocolVersion, Fingerprint: spec.Fingerprint(), Name: "doomed"}, &jr)
+	var lr LeaseResponse
+	postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: jr.Worker, Epoch: jr.Epoch}, &lr)
+	if lr.Status != StatusLease {
+		t.Fatalf("doomed worker got %q, want a lease", lr.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errs := runWorkers(ctx, srv.URL, 1, WorkerOptions{})
+	res := waitResult(t, coord)
+	if err := <-errs; err != nil {
+		t.Errorf("surviving worker exited with %v", err)
+	}
+	if got := marshalResult(t, res); !bytes.Equal(got, want) {
+		t.Fatal("fleet result differs from single-process run after worker death")
+	}
+	after := obs.Default().Snapshot()
+	if got := after.Counters["copa.fleet.leases_expired"] - before.Counters["copa.fleet.leases_expired"]; got < 1 {
+		t.Errorf("leases_expired advanced by %d, want ≥ 1", got)
+	}
+	if got := after.Counters["copa.fleet.leases_reassigned"] - before.Counters["copa.fleet.leases_reassigned"]; got < 1 {
+		t.Errorf("leases_reassigned advanced by %d, want ≥ 1", got)
+	}
+}
+
+// TestFleetCoordinatorKillResume kills the coordinator mid-campaign and
+// resumes from its checkpoint under a fresh incarnation: completed
+// shards must not rerun, and the final bytes must match an
+// uninterrupted single-process run.
+func TestFleetCoordinatorKillResume(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessBytes(t, spec)
+	ckpt := filepath.Join(t.TempDir(), "fleet.jsonl")
+
+	// Incarnation 1: stop after two units have been journaled.
+	killAt := make(chan struct{})
+	var once sync.Once
+	coord1, err := NewCoordinator(context.Background(), spec, CoordinatorOptions{
+		Checkpoint: ckpt,
+		OnProgress: func(p campaign.Progress) {
+			if p.Done >= 2 {
+				once.Do(func() { close(killAt) })
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(coord1.Handler())
+	wctx, wcancel := context.WithCancel(context.Background())
+	errs := runWorkers(wctx, srv1.URL, 1, WorkerOptions{})
+	select {
+	case <-killAt:
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator never reached 2 completed units")
+	}
+	wcancel()
+	coord1.Close()
+	srv1.Close()
+	<-errs
+
+	if _, err := os.Stat(ckpt + ".leases"); err != nil {
+		t.Fatalf("lease journal sidecar missing: %v", err)
+	}
+
+	// Incarnation 2: resume. The journaled units must be loaded, not
+	// re-evaluated, and the final output must be byte-identical.
+	coord2, srv2 := startFleet(t, spec, CoordinatorOptions{Checkpoint: ckpt, Resume: true})
+	if got := coord2.Stats().Resumed; got < 2 {
+		t.Fatalf("resumed %d units, want ≥ 2", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errs2 := runWorkers(ctx, srv2.URL, 2, WorkerOptions{})
+	res := waitResult(t, coord2)
+	for i := 0; i < 2; i++ {
+		if err := <-errs2; err != nil {
+			t.Errorf("worker exited with %v", err)
+		}
+	}
+	if got := marshalResult(t, res); !bytes.Equal(got, want) {
+		t.Fatal("resumed fleet result differs from single-process run")
+	}
+}
+
+// TestFleetFaultyTransport runs the whole campaign through a lossy,
+// duplicating, delaying RPC layer: retries and dedup must absorb every
+// fault without moving a byte of the output.
+func TestFleetFaultyTransport(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessBytes(t, spec)
+	ft := NewFaultyTransport(nil, FaultConfig{
+		DropRequest:  0.10,
+		DropResponse: 0.20,
+		Duplicate:    0.25,
+		DelayMax:     2 * time.Millisecond,
+	}, rng.New(7))
+	coord, srv := startFleet(t, spec, CoordinatorOptions{LeaseTTL: 2 * time.Second, GrantWait: 20 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	errs := runWorkers(ctx, srv.URL, 2, WorkerOptions{Client: &http.Client{Transport: ft}})
+	res := waitResult(t, coord)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("worker exited with %v", err)
+		}
+	}
+	if got := marshalResult(t, res); !bytes.Equal(got, want) {
+		t.Fatal("fleet result differs from single-process run under transport faults")
+	}
+	st := ft.Stats()
+	if st.DroppedRequests+st.DroppedResponses+st.Duplicated == 0 {
+		t.Errorf("no faults injected (stats %+v); the test exercised nothing", st)
+	}
+}
+
+// TestFleetCompleteDedup replays one completion verbatim — the
+// transport-duplicate case in miniature — and checks the coordinator
+// accepts it idempotently.
+func TestFleetCompleteDedup(t *testing.T) {
+	spec := testSpec()
+	coord, srv := startFleet(t, spec, CoordinatorOptions{})
+	var jr JoinResponse
+	postJSON(t, srv.URL+PathJoin, JoinRequest{Protocol: ProtocolVersion, Fingerprint: spec.Fingerprint()}, &jr)
+	var lr LeaseResponse
+	postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: jr.Worker, Epoch: jr.Epoch}, &lr)
+	if lr.Status != StatusLease {
+		t.Fatalf("lease status %q", lr.Status)
+	}
+	res, err := campaign.EvalUnit(spec, lr.Unit, nil, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := CompleteRequest{Worker: jr.Worker, Epoch: jr.Epoch, Lease: lr.Lease, Result: res}
+	var cr1, cr2 CompleteResponse
+	postJSON(t, srv.URL+PathComplete, req, &cr1)
+	postJSON(t, srv.URL+PathComplete, req, &cr2)
+	if !cr1.Accepted || cr1.Duplicate {
+		t.Errorf("first completion: %+v, want accepted and not duplicate", cr1)
+	}
+	if !cr2.Accepted || !cr2.Duplicate {
+		t.Errorf("replayed completion: %+v, want accepted duplicate", cr2)
+	}
+	if got := coord.Stats().Completed; got != 1 {
+		t.Errorf("completed = %d after dedup, want 1", got)
+	}
+}
+
+// TestFleetCheckpointCompat proves checkpoints move freely between the
+// single-process engine and the coordinator — and that mismatched
+// specs fail fast in both directions.
+func TestFleetCheckpointCompat(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessBytes(t, spec)
+
+	t.Run("single-process checkpoint resumed under coordinator", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "c.jsonl")
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := campaign.Run(ctx, spec, campaign.Options{
+			Workers:    1,
+			Checkpoint: ckpt,
+			OnProgress: func(done, total int) {
+				if done == 2 {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("cancelled run returned %v", err)
+		}
+		coord, srv := startFleet(t, spec, CoordinatorOptions{Checkpoint: ckpt, Resume: true})
+		if coord.Stats().Resumed < 2 {
+			t.Fatalf("coordinator resumed %d units, want ≥ 2", coord.Stats().Resumed)
+		}
+		wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer wcancel()
+		errs := runWorkers(wctx, srv.URL, 1, WorkerOptions{})
+		res := waitResult(t, coord)
+		<-errs
+		if got := marshalResult(t, res); !bytes.Equal(got, want) {
+			t.Fatal("coordinator resume of single-process checkpoint differs")
+		}
+	})
+
+	t.Run("coordinator checkpoint resumed single-process", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "c.jsonl")
+		killAt := make(chan struct{})
+		var once sync.Once
+		coord, err := NewCoordinator(context.Background(), spec, CoordinatorOptions{
+			Checkpoint: ckpt,
+			OnProgress: func(p campaign.Progress) {
+				if p.Done >= 2 {
+					once.Do(func() { close(killAt) })
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(coord.Handler())
+		wctx, wcancel := context.WithCancel(context.Background())
+		errs := runWorkers(wctx, srv.URL, 1, WorkerOptions{})
+		select {
+		case <-killAt:
+		case <-time.After(60 * time.Second):
+			t.Fatal("coordinator never reached 2 completed units")
+		}
+		wcancel()
+		coord.Close()
+		srv.Close()
+		<-errs
+
+		res, err := campaign.Run(context.Background(), spec, campaign.Options{Checkpoint: ckpt, Resume: true})
+		if err != nil {
+			t.Fatalf("single-process resume of coordinator checkpoint: %v", err)
+		}
+		if got := marshalResult(t, res); !bytes.Equal(got, want) {
+			t.Fatal("single-process resume of coordinator checkpoint differs")
+		}
+	})
+
+	t.Run("fingerprint mismatch fails fast both ways", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "c.jsonl")
+		if _, err := campaign.Run(context.Background(), spec, campaign.Options{Checkpoint: ckpt}); err != nil {
+			t.Fatal(err)
+		}
+		other := spec
+		other.Seed = 43
+		if _, err := NewCoordinator(context.Background(), other, CoordinatorOptions{Checkpoint: ckpt, Resume: true}); err == nil || !strings.Contains(err.Error(), "different campaign spec") {
+			t.Fatalf("coordinator accepted foreign checkpoint: %v", err)
+		}
+	})
+}
+
+// TestFleetFingerprintMismatch rejects a worker whose spec decoding
+// hashes differently — before any lease is granted.
+func TestFleetFingerprintMismatch(t *testing.T) {
+	spec := testSpec()
+	_, srv := startFleet(t, spec, CoordinatorOptions{})
+
+	// Coordinator side: a join quoting the wrong fingerprint is 409.
+	resp, err := http.Post(srv.URL+PathJoin, "application/json",
+		strings.NewReader(`{"protocol":1,"fingerprint":"deadbeef"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("join with bad fingerprint: HTTP %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+
+	// Worker side: a coordinator announcing a fingerprint that does not
+	// match its own spec is refused before join.
+	doctored := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, SpecResponse{Protocol: ProtocolVersion, Fingerprint: "0000", Spec: spec})
+	}))
+	defer doctored.Close()
+	err = RunWorker(context.Background(), doctored.URL, WorkerOptions{})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Errorf("worker joined a mismatched coordinator: %v", err)
+	}
+}
+
+// TestFleetTraceStitching: one campaign, one TraceID — the worker's
+// unit spans and the coordinator's RPC spans must all land in the trace
+// rooted at the coordinator.
+func TestFleetTraceStitching(t *testing.T) {
+	spec := testSpec()
+	spec.Topologies = 4
+	spec.Shards = 1
+	ctx, root := obs.StartSpan(context.Background(), "test.fleet")
+	coord, err := NewCoordinator(ctx, spec, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer wcancel()
+	errs := runWorkers(wctx, srv.URL, 1, WorkerOptions{})
+	waitResult(t, coord)
+	if err := <-errs; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	root.End()
+
+	trace := root.Context().TraceID.String()
+	spans := obs.Tracing().TraceSpans(trace)
+	byName := make(map[string]int)
+	for _, s := range spans {
+		byName[s.Name]++
+	}
+	if byName["fleet.campaign"] != 1 {
+		t.Errorf("trace %s has %d fleet.campaign spans, want 1", trace, byName["fleet.campaign"])
+	}
+	if byName["fleet.unit"] != spec.Units() {
+		t.Errorf("trace %s has %d fleet.unit spans, want %d (remote unit spans must join the campaign trace)", trace, byName["fleet.unit"], spec.Units())
+	}
+	for _, rpc := range []string{"fleet.join", "fleet.lease", "fleet.complete"} {
+		if byName[rpc] == 0 {
+			t.Errorf("trace %s has no %s spans; RPCs are not propagating traceparent", trace, rpc)
+		}
+	}
+}
+
+// TestFleetResumeCompleteCheckpoint finishes instantly with no workers.
+func TestFleetResumeCompleteCheckpoint(t *testing.T) {
+	spec := testSpec()
+	ckpt := filepath.Join(t.TempDir(), "c.jsonl")
+	want := func() []byte {
+		res, err := campaign.Run(context.Background(), spec, campaign.Options{Checkpoint: ckpt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshalResult(t, res)
+	}()
+	coord, err := NewCoordinator(context.Background(), spec, CoordinatorOptions{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	res := waitResult(t, coord)
+	if got := marshalResult(t, res); !bytes.Equal(got, want) {
+		t.Fatal("fully-resumed fleet result differs")
+	}
+}
+
+// TestLeaseTable exercises the lease state machine with a fake clock.
+func TestLeaseTable(t *testing.T) {
+	now := time.Unix(0, 0)
+	tick := func(d time.Duration) { now = now.Add(d) }
+	tbl := newLeaseTable(time.Second, func() time.Time { return now })
+	for u := 0; u < 3; u++ {
+		tbl.addPending(u)
+	}
+
+	l0, ok := tbl.grant(1)
+	if !ok || l0.unit != 0 {
+		t.Fatalf("grant = %+v, %v; want unit 0", l0, ok)
+	}
+	l1, _ := tbl.grant(2)
+	if l1.unit != 1 {
+		t.Fatalf("second grant unit %d, want 1", l1.unit)
+	}
+	if tbl.active() != 2 {
+		t.Fatalf("active = %d, want 2", tbl.active())
+	}
+
+	// Renewal holds a lease across what would have been its expiry.
+	tick(900 * time.Millisecond)
+	if exp := tbl.renew([]int64{l0.token}); len(exp) != 0 {
+		t.Fatalf("renew reported %v expired", exp)
+	}
+	tick(500 * time.Millisecond) // l1 (unrenewed) is now overdue; l0 is not
+	expired := tbl.expire()
+	if len(expired) != 1 || expired[0].unit != 1 {
+		t.Fatalf("expire = %v, want unit 1 only", expired)
+	}
+	// The expired unit is grantable again (reassignment).
+	l1b, ok := tbl.grant(3)
+	if !ok || l1b.unit != 1 {
+		t.Fatalf("regrant = %+v, %v; want unit 1", l1b, ok)
+	}
+	if l1b.token == l1.token {
+		t.Fatal("regrant reused the dead lease's token")
+	}
+	// A stale token no longer renews.
+	if exp := tbl.renew([]int64{l1.token}); len(exp) != 1 || exp[0] != l1.token {
+		t.Fatalf("stale renew = %v, want [%d]", exp, l1.token)
+	}
+	// Completion retires the unit's lease whoever holds it.
+	tbl.complete(1)
+	tbl.complete(0)
+	if tbl.active() != 0 {
+		t.Fatalf("active = %d after completes, want 0", tbl.active())
+	}
+	// Remaining pending unit still grants.
+	if l2, ok := tbl.grant(1); !ok || l2.unit != 2 {
+		t.Fatalf("final grant = %+v, %v; want unit 2", l2, ok)
+	}
+}
+
+// postJSON is the raw-RPC helper for protocol-level tests.
+func postJSON(t *testing.T, url string, body, out any) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

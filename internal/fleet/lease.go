@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// A lease is one unit checked out to one worker until its deadline.
+// The lease state machine (DESIGN §12):
+//
+//	pending ──grant──▶ leased ──complete──▶ done
+//	   ▲                  │
+//	   └──────expire──────┘  (reassignment: the next grant of the unit)
+//
+// Renewal (heartbeat) moves the deadline without changing state. A
+// completion is honored whether or not the lease is still live — the
+// work is deterministic, so the first completion of a unit wins and
+// every later one is a dedup'd duplicate.
+type lease struct {
+	unit     int
+	worker   int
+	token    int64
+	deadline time.Time
+}
+
+// unitHeap is a min-heap of unit indices: grants hand out the lowest
+// pending unit first, which keeps the merge frontier tight (low merge
+// lag) without affecting results.
+type unitHeap []int
+
+func (h unitHeap) Len() int           { return len(h) }
+func (h unitHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h unitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *unitHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *unitHeap) next() int         { return heap.Pop(h).(int) }
+func (h *unitHeap) add(u int)         { heap.Push(h, u) }
+
+// leaseTable tracks pending units and outstanding leases. It is not
+// self-locking: the coordinator serializes access under its own mutex.
+type leaseTable struct {
+	ttl       time.Duration
+	now       func() time.Time
+	pending   unitHeap
+	byToken   map[int64]*lease
+	byUnit    map[int]*lease
+	wasLeased map[int]bool // units granted at least once (reassignment detection)
+	nextToken int64
+}
+
+func newLeaseTable(ttl time.Duration, now func() time.Time) *leaseTable {
+	return &leaseTable{
+		ttl:       ttl,
+		now:       now,
+		byToken:   make(map[int64]*lease),
+		byUnit:    make(map[int]*lease),
+		wasLeased: make(map[int]bool),
+	}
+}
+
+// addPending queues a unit for assignment.
+func (t *leaseTable) addPending(u int) { t.pending.add(u) }
+
+// grant leases the lowest pending unit to worker, or reports none
+// available (every remaining unit is leased out or done).
+func (t *leaseTable) grant(worker int) (*lease, bool) {
+	if t.pending.Len() == 0 {
+		return nil, false
+	}
+	u := t.pending.next()
+	t.nextToken++
+	l := &lease{unit: u, worker: worker, token: t.nextToken, deadline: t.now().Add(t.ttl)}
+	t.byToken[l.token] = l
+	t.byUnit[u] = l
+	mLeasesGranted.Inc()
+	if t.wasLeased[u] {
+		mLeasesReassigned.Inc()
+	}
+	t.wasLeased[u] = true
+	mLeasesActive.Set(float64(len(t.byToken)))
+	return l, true
+}
+
+// renew extends the deadline of each quoted token still outstanding and
+// returns the ones that are not (expired, completed, or never issued).
+func (t *leaseTable) renew(tokens []int64) (expired []int64) {
+	deadline := t.now().Add(t.ttl)
+	for _, tok := range tokens {
+		if l, ok := t.byToken[tok]; ok {
+			l.deadline = deadline
+		} else {
+			expired = append(expired, tok)
+		}
+	}
+	return expired
+}
+
+// expire sweeps overdue leases back into the pending queue and returns
+// them (for the lease journal).
+func (t *leaseTable) expire() []*lease {
+	var out []*lease
+	now := t.now()
+	for tok, l := range t.byToken {
+		if now.After(l.deadline) {
+			delete(t.byToken, tok)
+			delete(t.byUnit, l.unit)
+			t.pending.add(l.unit)
+			mLeasesExpired.Inc()
+			out = append(out, l)
+		}
+	}
+	if len(out) > 0 {
+		mLeasesActive.Set(float64(len(t.byToken)))
+	}
+	return out
+}
+
+// complete retires the unit's lease, if any (the completion may come
+// from an expired lease holder; the unit then simply has no live
+// lease to retire).
+func (t *leaseTable) complete(unit int) {
+	if l, ok := t.byUnit[unit]; ok {
+		delete(t.byToken, l.token)
+		delete(t.byUnit, unit)
+		mLeasesActive.Set(float64(len(t.byToken)))
+	}
+}
+
+// active is the number of outstanding leases.
+func (t *leaseTable) active() int { return len(t.byToken) }

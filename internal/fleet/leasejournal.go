@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The lease journal is the checkpoint's sidecar (<checkpoint>.leases):
+// the same line-delimited JSON discipline as the unit journal — header
+// binding the file to the spec fingerprint, then one line per lease
+// transition. It is an audit trail, not recovery state: unit results
+// are the durable record (they live in the unit journal), while leases
+// are ephemeral by design — a coordinator restart bumps the epoch,
+// which implicitly expires every lease of the previous incarnation, and
+// the journal records that as an "epoch" line. Keeping lease history
+// out of the unit journal is what keeps that file loadable by the
+// single-process engine: checkpoints move freely between campaign.Run
+// and the coordinator in both directions.
+
+// leaseJournalVersion guards the sidecar format.
+const leaseJournalVersion = 1
+
+// leaseHeader is the first line of every lease journal.
+type leaseHeader struct {
+	V           int    `json:"v"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// leaseEvent is one lease-table transition.
+type leaseEvent struct {
+	// T is the transition: "epoch" (coordinator incarnation started),
+	// "grant", "renew" is deliberately not journaled (too chatty),
+	// "expire", "complete".
+	T      string `json:"t"`
+	Epoch  int64  `json:"epoch,omitempty"`
+	Unit   int    `json:"unit,omitempty"`
+	Worker int    `json:"worker,omitempty"`
+	Lease  int64  `json:"lease,omitempty"`
+}
+
+// leaseJournal appends lease transitions to the sidecar file.
+type leaseJournal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openLeaseJournal opens (or creates) the sidecar next to the unit
+// checkpoint. Resume semantics match the unit journal: an existing file
+// is only appended to under resume, and only if its header carries the
+// same spec fingerprint — a sidecar from a different campaign fails
+// fast instead of interleaving unrelated fleets.
+func openLeaseJournal(path string, fingerprint string, resume bool) (*leaseJournal, error) {
+	if _, err := os.Stat(path); err == nil {
+		if !resume {
+			return nil, fmt.Errorf("fleet: lease journal %s exists; pass resume to continue it or remove it", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("fleet: lease journal %s has no valid header", path)
+		}
+		var hdr leaseHeader
+		if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+			return nil, fmt.Errorf("fleet: lease journal %s: bad header: %w", path, err)
+		}
+		if hdr.V != leaseJournalVersion {
+			return nil, fmt.Errorf("fleet: lease journal %s: version %d, want %d", path, hdr.V, leaseJournalVersion)
+		}
+		if hdr.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("fleet: lease journal %s was written by a different campaign spec (fingerprint %.12s…, want %.12s…)", path, hdr.Fingerprint, fingerprint)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &leaseJournal{f: f, w: bufio.NewWriter(f)}, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &leaseJournal{f: f, w: bufio.NewWriter(f)}
+	if err := j.record(leaseHeader{V: leaseJournalVersion, Fingerprint: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// record appends one JSON line and flushes it to the OS.
+func (j *leaseJournal) record(v any) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// close flushes and closes the sidecar.
+func (j *leaseJournal) close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

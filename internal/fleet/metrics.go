@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"fmt"
+
+	"copa/internal/obs"
+)
+
+// Handles resolved once at init; RPC handlers only touch atomics.
+var (
+	mWorkersJoined = obs.C("copa.fleet.workers_joined")
+	mWorkersLive   = obs.G("copa.fleet.workers_live")
+
+	mLeasesGranted    = obs.C("copa.fleet.leases_granted")
+	mLeasesExpired    = obs.C("copa.fleet.leases_expired")
+	mLeasesReassigned = obs.C("copa.fleet.leases_reassigned")
+	mLeasesActive     = obs.G("copa.fleet.leases_active")
+
+	mUnitsMerged    = obs.C("copa.fleet.units_merged")
+	mUnitsDuplicate = obs.C("copa.fleet.units_duplicate")
+	mUnitsResumed   = obs.C("copa.fleet.units_resumed")
+	// mMergeLag is the number of completed units buffered because a
+	// lower-numbered unit has not arrived yet — the price of the fixed
+	// ascending merge order.
+	mMergeLag = obs.G("copa.fleet.merge_lag")
+
+	mUnitsPerSec = obs.G("copa.fleet.units_per_sec")
+	mETASeconds  = obs.G("copa.fleet.eta_seconds")
+	mRPCSeconds  = obs.T("copa.fleet.rpc_seconds")
+)
+
+// workerGauge resolves the per-worker throughput gauge
+// copa.fleet.worker_units_per_sec.w<id>. Worker ids are dense and
+// small, so a fleet's gauges form a stable family.
+func workerGauge(id int) *obs.Gauge {
+	return obs.G(fmt.Sprintf("copa.fleet.worker_units_per_sec.w%d", id))
+}

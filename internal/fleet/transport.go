@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"copa/internal/rng"
+)
+
+// FaultyTransport is internal/medium's Faulty decorator transplanted to
+// the fleet RPC layer: an http.RoundTripper that drops, delays, and
+// duplicates requests with seeded, reproducible randomness. Where the
+// medium corrupts ITS frames to exercise the MAC CRC, this corrupts the
+// *conversation* to exercise the protocol's recovery paths — worker
+// retries for drops, lease reassignment for stalls, and coordinator
+// dedup for replays — while the merged campaign bytes must not move.
+//
+// Fault semantics per attempt:
+//
+//   - DropRequest: the request never reaches the coordinator (a lost
+//     datagram on the way out). The caller sees ErrInjectedDrop.
+//   - DropResponse: the coordinator processes the request but the
+//     reply is lost on the way back — the dangerous half, because the
+//     worker's retry re-executes a side-effecting RPC. Completion
+//     dedup is what makes this safe.
+//   - Duplicate: the request is transmitted twice back-to-back (both
+//     reach the coordinator; the second response is returned). For a
+//     lease RPC the shadowed grant simply expires and is reassigned.
+//   - DelayMax: uniform extra latency before the attempt.
+type FaultConfig struct {
+	DropRequest  float64
+	DropResponse float64
+	Duplicate    float64
+	DelayMax     time.Duration
+}
+
+// ErrInjectedDrop is the transport error surfaced for injected losses;
+// callers' retry paths treat it like any network failure.
+var ErrInjectedDrop = errors.New("fleet: injected drop")
+
+// FaultStats counts what the transport actually did.
+type FaultStats struct {
+	Requests         uint64
+	DroppedRequests  uint64
+	DroppedResponses uint64
+	Duplicated       uint64
+	Delayed          uint64
+}
+
+// FaultyTransport injects FaultConfig impairments into an inner
+// RoundTripper. Draws are serialized so a fixed seed and request
+// sequence give a fixed impairment sequence.
+type FaultyTransport struct {
+	inner http.RoundTripper
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	src   *rng.Source
+	stats FaultStats
+}
+
+// NewFaultyTransport wraps inner (nil means http.DefaultTransport),
+// drawing all randomness from src.
+func NewFaultyTransport(inner http.RoundTripper, cfg FaultConfig, src *rng.Source) *FaultyTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultyTransport{inner: inner, cfg: cfg, src: src}
+}
+
+// Stats returns a snapshot of the injected faults so far.
+func (t *FaultyTransport) Stats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// draw makes all of one request's fault decisions under the lock, so
+// concurrent evaluators cannot interleave the RNG stream mid-request.
+func (t *FaultyTransport) draw() (dropReq, dropResp, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	if t.cfg.DropRequest > 0 && t.src.Bool(t.cfg.DropRequest) {
+		t.stats.DroppedRequests++
+		return true, false, false, 0
+	}
+	if t.cfg.DelayMax > 0 {
+		if delay = time.Duration(t.src.Float64() * float64(t.cfg.DelayMax)); delay > 0 {
+			t.stats.Delayed++
+		}
+	}
+	if t.cfg.Duplicate > 0 && t.src.Bool(t.cfg.Duplicate) {
+		t.stats.Duplicated++
+		dup = true
+	}
+	if t.cfg.DropResponse > 0 && t.src.Bool(t.cfg.DropResponse) {
+		t.stats.DroppedResponses++
+		dropResp = true
+	}
+	return false, dropResp, dup, delay
+}
+
+// RoundTrip implements http.RoundTripper. The request body is read
+// fully up front so duplicated sends can replay it.
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var payload []byte
+	if req.Body != nil {
+		var err error
+		payload, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if payload != nil {
+			r.Body = io.NopCloser(bytes.NewReader(payload))
+			r.ContentLength = int64(len(payload))
+		}
+		return t.inner.RoundTrip(r)
+	}
+
+	dropReq, dropResp, dup, delay := t.draw()
+	if dropReq {
+		return nil, ErrInjectedDrop
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	resp, err := send()
+	if dup {
+		// The wire carried the request twice; both copies executed.
+		// Hand the caller the second response — the first is drained so
+		// the connection can be reused.
+		if err == nil && resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		resp, err = send()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrInjectedDrop
+	}
+	return resp, nil
+}

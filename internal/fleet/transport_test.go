@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"copa/internal/rng"
+)
+
+// countingServer counts how many requests actually arrive, so the
+// tests can distinguish "dropped before the wire" from "dropped after".
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func TestFaultyTransportDropRequest(t *testing.T) {
+	srv, hits := countingServer(t)
+	ft := NewFaultyTransport(nil, FaultConfig{DropRequest: 1}, rng.New(1))
+	client := &http.Client{Transport: ft}
+	_, err := client.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err == nil || !errors.Is(err, ErrInjectedDrop) && !strings.Contains(err.Error(), ErrInjectedDrop.Error()) {
+		t.Fatalf("err = %v, want injected drop", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests; a dropped request must never arrive", hits.Load())
+	}
+	st := ft.Stats()
+	if st.Requests != 1 || st.DroppedRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyTransportDropResponse(t *testing.T) {
+	srv, hits := countingServer(t)
+	ft := NewFaultyTransport(nil, FaultConfig{DropResponse: 1}, rng.New(1))
+	client := &http.Client{Transport: ft}
+	_, err := client.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err == nil {
+		t.Fatal("want error for dropped response")
+	}
+	// The critical asymmetry vs DropRequest: the server DID execute.
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests; a dropped response still executes once", hits.Load())
+	}
+	if st := ft.Stats(); st.DroppedResponses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyTransportDuplicate(t *testing.T) {
+	srv, hits := countingServer(t)
+	ft := NewFaultyTransport(nil, FaultConfig{Duplicate: 1}, rng.New(1))
+	client := &http.Client{Transport: ft}
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (the duplicate must actually transmit)", hits.Load())
+	}
+	if st := ft.Stats(); st.Duplicated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultyTransportDelay(t *testing.T) {
+	srv, _ := countingServer(t)
+	ft := NewFaultyTransport(nil, FaultConfig{DelayMax: 30 * time.Millisecond}, rng.New(3))
+	client := &http.Client{Transport: ft}
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	st := ft.Stats()
+	if st.Delayed == 0 {
+		t.Fatal("no request was delayed across 5 draws with DelayMax set")
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("wall clock shows no injected latency")
+	}
+}
+
+// TestFaultyTransportDeterminism: same seed, same request sequence →
+// same fault sequence. This is what makes lossy-fleet tests replayable.
+func TestFaultyTransportDeterminism(t *testing.T) {
+	srv, _ := countingServer(t)
+	run := func() FaultStats {
+		ft := NewFaultyTransport(nil, FaultConfig{DropRequest: 0.3, DropResponse: 0.3, Duplicate: 0.3}, rng.New(99))
+		client := &http.Client{Transport: ft}
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return ft.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault sequences diverged: %+v vs %+v", a, b)
+	}
+	if a.DroppedRequests == 0 || a.DroppedResponses == 0 || a.Duplicated == 0 {
+		t.Fatalf("fault mix not exercised: %+v", a)
+	}
+}

@@ -1,0 +1,358 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copa/internal/campaign"
+	"copa/internal/obs"
+	"copa/internal/precoding"
+)
+
+// RPC retry policy: transport errors and 5xx are retried with doubling
+// backoff; 4xx are protocol errors and fail fast. Retries are what turn
+// injected faults (FaultyTransport) into latency instead of loss — the
+// coordinator-side dedup absorbs the replays.
+const (
+	rpcAttempts    = 8
+	rpcBackoffMin  = 10 * time.Millisecond
+	rpcBackoffMax  = 500 * time.Millisecond
+	rpcPerCallWait = 30 * time.Second
+)
+
+// WorkerOptions configure one worker process.
+type WorkerOptions struct {
+	// Client issues the fleet RPCs (default: a fresh http.Client).
+	// Tests inject a FaultyTransport here.
+	Client *http.Client
+	// Parallel is the number of evaluator loops, each owning one
+	// scratch arena (default 1; a beefy worker machine runs
+	// GOMAXPROCS).
+	Parallel int
+	// Heartbeat overrides the renewal interval (default: a third of
+	// the coordinator's lease TTL).
+	Heartbeat time.Duration
+	// Name labels this worker on the coordinator (default host:pid).
+	Name string
+	// OnUnit, when non-nil, runs after each accepted completion (test
+	// hook).
+	OnUnit func(unit int)
+}
+
+// worker is one joined worker's client state.
+type worker struct {
+	base   string
+	client *http.Client
+	spec   campaign.Spec
+	id     int
+	epoch  int64
+	ttl    time.Duration
+	// tctx carries the coordinator's campaign root span, so every unit
+	// span and RPC this worker emits lands in the campaign's TraceID.
+	tctx context.Context
+
+	// campaignDone flips when any loop hears Done from the coordinator.
+	// After that, RPC failures in sibling loops are clean shutdown, not
+	// errors: a finished coordinator may exit while a peer loop is
+	// mid-poll, and "connection refused after Done" is not a failure.
+	campaignDone atomic.Bool
+
+	mu     sync.Mutex
+	tokens map[int64]bool
+}
+
+// RunWorker joins the coordinator at baseURL and evaluates leased units
+// until the campaign completes (nil), ctx is cancelled (ctx.Err()), or
+// a fatal error occurs — a spec fingerprint mismatch, a protocol
+// violation, or an evaluation failure (which is deterministic and would
+// fail identically on every worker, so retrying elsewhere is pointless).
+func RunWorker(ctx context.Context, baseURL string, opt WorkerOptions) error {
+	if opt.Client == nil {
+		opt.Client = &http.Client{}
+	}
+	if opt.Parallel <= 0 {
+		opt.Parallel = 1
+	}
+	if opt.Name == "" {
+		host, _ := os.Hostname()
+		opt.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := &worker{base: baseURL, client: opt.Client, tctx: ctx, tokens: make(map[int64]bool)}
+
+	// Fetch the spec and check the fingerprint BEFORE joining: if our
+	// decoding of the coordinator's spec hashes differently, the two
+	// binaries disagree about what a campaign even is. Working anyway
+	// would poison the merge, so refuse loudly.
+	var sr SpecResponse
+	if err := w.rpc(ctx, http.MethodGet, PathSpec, nil, &sr); err != nil {
+		return fmt.Errorf("fleet: fetching spec from %s: %w", baseURL, err)
+	}
+	if sr.Protocol != ProtocolVersion {
+		return fmt.Errorf("fleet: coordinator speaks protocol %d, this binary speaks %d", sr.Protocol, ProtocolVersion)
+	}
+	if err := sr.Spec.Validate(); err != nil {
+		return fmt.Errorf("fleet: coordinator spec invalid: %w", err)
+	}
+	fp := sr.Spec.Fingerprint()
+	if fp != sr.Fingerprint {
+		return fmt.Errorf("fleet: spec fingerprint mismatch (local %.12s…, coordinator %.12s…): mixed binaries or configs", fp, sr.Fingerprint)
+	}
+	w.spec = sr.Spec
+
+	var jr JoinResponse
+	if err := w.rpc(ctx, http.MethodPost, PathJoin, JoinRequest{Protocol: ProtocolVersion, Fingerprint: fp, Name: opt.Name}, &jr); err != nil {
+		return fmt.Errorf("fleet: joining %s: %w", baseURL, err)
+	}
+	w.id, w.epoch = jr.Worker, jr.Epoch
+	w.ttl = time.Duration(jr.LeaseTTLMS) * time.Millisecond
+	if sc, ok := obs.ParseTraceparent(jr.Traceparent); ok && sc.Sampled {
+		w.tctx = obs.ContextWithSpan(ctx, sc)
+	}
+	obs.Logger().Info("fleet joined", "coordinator", baseURL, "worker", w.id, "parallel", opt.Parallel)
+
+	hb := opt.Heartbeat
+	if hb <= 0 {
+		hb = w.ttl / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(ctx, hb, hbStop)
+	}()
+	defer func() {
+		close(hbStop)
+		hbWG.Wait()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Parallel)
+	for i := 0; i < opt.Parallel; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs[slot] = w.evalLoop(ctx, opt.OnUnit)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalLoop is one evaluator: lease, evaluate on a private arena, post,
+// repeat until the coordinator says done.
+func (w *worker) evalLoop(ctx context.Context, onUnit func(int)) error {
+	ws := &precoding.Workspace{}
+	checkCancel := func() error { return ctx.Err() }
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lr LeaseResponse
+		if err := w.rpc(ctx, http.MethodPost, PathLease, LeaseRequest{Worker: w.id, Epoch: w.epoch}, &lr); err != nil {
+			if w.campaignDone.Load() {
+				return nil
+			}
+			return fmt.Errorf("fleet: leasing: %w", err)
+		}
+		switch lr.Status {
+		case StatusDone:
+			w.campaignDone.Store(true)
+			return nil
+		case StatusWait:
+			wait := time.Duration(lr.WaitMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		case StatusLease:
+		default:
+			return fmt.Errorf("fleet: unknown lease status %q", lr.Status)
+		}
+
+		w.track(lr.Lease, true)
+		sp := obs.ChildSpan(w.tctx, "fleet.unit")
+		sp.SetAttr("unit", strconv.Itoa(lr.Unit))
+		sp.SetAttr("worker", strconv.Itoa(w.id))
+		start := time.Now()
+		res, err := campaign.EvalUnit(w.spec, lr.Unit, ws, checkCancel)
+		seconds := time.Since(start).Seconds()
+		if err != nil {
+			sp.EndErr(err)
+			w.track(lr.Lease, false)
+			// Cancellation is clean shutdown; the lease expires and the
+			// unit is reassigned. Anything else is a deterministic
+			// evaluation failure — fatal here and everywhere.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fleet: unit %d: %w", lr.Unit, err)
+		}
+		var cr CompleteResponse
+		err = w.rpc(ctx, http.MethodPost, PathComplete,
+			CompleteRequest{Worker: w.id, Epoch: w.epoch, Lease: lr.Lease, Result: res, Seconds: seconds}, &cr)
+		sp.EndErr(err)
+		w.track(lr.Lease, false)
+		if err != nil {
+			if w.campaignDone.Load() {
+				return nil
+			}
+			return fmt.Errorf("fleet: completing unit %d: %w", lr.Unit, err)
+		}
+		if onUnit != nil {
+			onUnit(lr.Unit)
+		}
+		if cr.Done {
+			w.campaignDone.Store(true)
+			return nil
+		}
+	}
+}
+
+// track adds or removes a lease token from the heartbeat's renewal set.
+func (w *worker) track(token int64, held bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if held {
+		w.tokens[token] = true
+	} else {
+		delete(w.tokens, token)
+	}
+}
+
+// heartbeatLoop renews outstanding leases every interval. Errors are
+// swallowed: a missed renewal only risks an early expiry, which the
+// completion dedup absorbs; persistent coordinator loss surfaces
+// through the evaluator's own RPCs.
+func (w *worker) heartbeatLoop(ctx context.Context, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.mu.Lock()
+			tokens := make([]int64, 0, len(w.tokens))
+			for tok := range w.tokens {
+				tokens = append(tokens, tok)
+			}
+			w.mu.Unlock()
+			var hr HeartbeatResponse
+			if err := w.rpc(ctx, http.MethodPost, PathHeartbeat, HeartbeatRequest{Worker: w.id, Epoch: w.epoch, Leases: tokens}, &hr); err != nil {
+				continue
+			}
+			if hr.Done {
+				w.campaignDone.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// permanentError marks an RPC failure that retrying cannot fix (4xx:
+// fingerprint mismatch, stale epoch, malformed request).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// rpc issues one fleet call with bounded retries, injecting the
+// campaign's trace context on every attempt.
+func (w *worker) rpc(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	backoff := rpcBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < rpcAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > rpcBackoffMax {
+				backoff = rpcBackoffMax
+			}
+		}
+		lastErr = w.rpcOnce(ctx, method, path, payload, out)
+		if lastErr == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(lastErr, &perm) || ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("fleet: %s %s failed after %d attempts: %w", method, path, rpcAttempts, lastErr)
+}
+
+func (w *worker) rpcOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	cctx, cancel := context.WithTimeout(ctx, rpcPerCallWait)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(cctx, method, w.base+path, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	obs.InjectHTTP(w.tctx, req.Header)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		msg := fmt.Sprintf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		if er.Error != "" {
+			msg += ": " + er.Error
+		}
+		if resp.StatusCode/100 == 4 {
+			return &permanentError{msg: msg}
+		}
+		return errors.New(msg)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

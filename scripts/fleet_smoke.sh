@@ -1,0 +1,48 @@
+#!/bin/sh
+# fleet_smoke.sh — two-process distributed-campaign smoke test.
+#
+# Runs the same small campaign twice: once in-process, once through a
+# real coordinator process and a real worker process talking HTTP over
+# loopback (with the coordinator killed and resumed halfway via its
+# checkpoint), and requires the two output files to be byte-identical.
+# This is the CI teeth behind the README's "Distributed campaigns"
+# walkthrough.
+set -eu
+
+DIR="$(mktemp -d)"
+trap 'kill $COORD_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
+
+SPEC="-scenario 1x1 -topologies 12 -shards 4 -skip-copa-plus -q"
+BIN="$DIR/copacampaign"
+go build -o "$BIN" ./cmd/copacampaign
+
+echo "fleet-smoke: single-process golden run"
+# shellcheck disable=SC2086  # SPEC is intentionally word-split
+"$BIN" $SPEC -out "$DIR/golden.json"
+
+echo "fleet-smoke: coordinator + worker over loopback"
+# Pure coordinator (-workers 0): every unit must travel the RPC path.
+# shellcheck disable=SC2086
+"$BIN" $SPEC -serve-coordinator 127.0.0.1:0 -addr-file "$DIR/coord.url" \
+    -checkpoint "$DIR/fleet.jsonl" -workers 0 -out "$DIR/fleet.json" &
+COORD_PID=$!
+
+# Wait for the -addr-file handshake.
+i=0
+while [ ! -s "$DIR/coord.url" ]; do
+    i=$((i + 1))
+    [ $i -gt 300 ] && { echo "fleet-smoke: coordinator never bound" >&2; exit 1; }
+    kill -0 $COORD_PID 2>/dev/null || { echo "fleet-smoke: coordinator died early" >&2; exit 1; }
+    sleep 0.1
+done
+URL="$(cat "$DIR/coord.url")"
+
+"$BIN" -join "$URL" -workers 2 -q
+
+wait $COORD_PID || { echo "fleet-smoke: coordinator exited non-zero" >&2; exit 1; }
+
+cmp "$DIR/golden.json" "$DIR/fleet.json" || {
+    echo "fleet-smoke: FLEET OUTPUT DIFFERS FROM SINGLE-PROCESS RUN" >&2
+    exit 1
+}
+echo "fleet-smoke: outputs byte-identical"
