@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"copa/internal/channel"
 	"copa/internal/obs"
 	"copa/internal/serve"
 )
@@ -180,7 +181,16 @@ func TestLoadMixedHitsAndMisses(t *testing.T) {
 // TestQueueFullReturns503 forces admission-control shedding through the
 // HTTP surface and checks both the status code and the metric.
 func TestQueueFullReturns503(t *testing.T) {
-	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 1, MaxBatch: 1, CacheEntries: -1})
+	srv := serve.New(serve.Config{
+		Workers: 1, QueueDepth: 1, MaxBatch: 1, CacheEntries: -1,
+		// Deterministic slow blocker: stall 4x2 evaluations so the
+		// burst below reliably finds the queue occupied.
+		EvalHook: func(r serve.Request) {
+			if r.Scenario == channel.Scenario4x2 {
+				time.Sleep(150 * time.Millisecond)
+			}
+		},
+	})
 	defer srv.Close()
 	ts := httptest.NewServer(newMux(srv))
 	defer ts.Close()

@@ -75,6 +75,47 @@ func (m *Matrix) SolveWS(ws *Workspace, b []complex128) ([]complex128, error) {
 	if m.Rows != len(b) {
 		return nil, errSolveDim
 	}
+	// The MMSE SINR kernels solve against 1×1 and 2×2 interference
+	// covariances thousands of times per evaluation; unrolled paths that
+	// replay luWS's exact operation sequence (same pivot comparison, same
+	// f = a10·(1/a00) reciprocal-multiply, same substitution expressions)
+	// produce bit-identical results without the clone/permutation carves.
+	if m.Rows == m.Cols {
+		switch m.Rows {
+		case 1:
+			a00 := m.Data[0]
+			if cmplx.Abs(a00) == 0 {
+				return nil, ErrSingular
+			}
+			x := ws.Complex(1)
+			x[0] = b[0] / a00
+			return x, nil
+		case 2:
+			a00, a01 := m.Data[0], m.Data[1]
+			a10, a11 := m.Data[2], m.Data[3]
+			b0, b1 := b[0], b[1]
+			pmag := cmplx.Abs(a00)
+			if mag := cmplx.Abs(a10); mag > pmag {
+				a00, a01, a10, a11 = a10, a11, a00, a01
+				b0, b1 = b1, b0
+				pmag = mag
+			}
+			if pmag == 0 {
+				return nil, ErrSingular
+			}
+			inv := 1 / a00
+			f := a10 * inv
+			u11 := a11 - f*a01
+			if cmplx.Abs(u11) == 0 {
+				return nil, ErrSingular
+			}
+			x := ws.Complex(2)
+			x1 := (b1 - f*b0) / u11
+			x[0] = (b0 - a01*x1) / a00
+			x[1] = x1
+			return x, nil
+		}
+	}
 	f, perm, err := luWS(ws, m)
 	if err != nil {
 		return nil, err

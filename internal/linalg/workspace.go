@@ -25,6 +25,7 @@ type Workspace struct {
 	in chunked[int]
 	fr chunked[[]float64]
 	mh chunked[Matrix]
+	mp chunked[*Matrix]
 }
 
 // Reset rewinds the arena. All values previously handed out by this
@@ -36,6 +37,7 @@ func (w *Workspace) Reset() {
 	w.in.reset()
 	w.fr.reset()
 	w.mh.reset()
+	w.mp.reset()
 }
 
 // chunked is a growable bump allocator over fixed chunks of T. Chunks are
@@ -87,6 +89,11 @@ func (w *Workspace) Float64s(n int) []float64 { return w.fl.take(n, 128, 8192) }
 
 // Ints carves a zeroed []int of length n from the arena.
 func (w *Workspace) Ints(n int) []int { return w.in.take(n, 64, 2048) }
+
+// MatrixPtrs carves a zeroed []*Matrix of length n from the arena; the
+// batched precoding paths use it to hold per-subcarrier matrix lists
+// without touching the Go allocator.
+func (w *Workspace) MatrixPtrs(n int) []*Matrix { return w.mp.take(n, 16, 512) }
 
 // FloatRows carves a rows×cols [][]float64 (each row zeroed) from the arena.
 func (w *Workspace) FloatRows(rows, cols int) [][]float64 {

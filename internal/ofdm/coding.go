@@ -39,6 +39,12 @@ var spectra = map[CodeRate]distanceSpectrum{
 	},
 }
 
+// maxDistance is the largest Hamming distance any spectrum reaches
+// (d_free + len(weights) − 1); it bounds the integer exponents the
+// pairwise-error-probability terms need, so the power caches below can be
+// fixed-size stack arrays.
+const maxDistance = 19
+
 // binomial returns C(n, k) as a float64.
 func binomial(n, k int) float64 {
 	if k < 0 || k > n {
@@ -54,6 +60,39 @@ func binomial(n, k int) float64 {
 	return c
 }
 
+// binomTab[d][k] caches C(d, k) for every distance the spectra reach. The
+// entries are produced by the same binomial function the scalar path used
+// per call, so the cached values are bit-identical to recomputing them —
+// the rate-selection hot loop just stops paying the O(k) product per term.
+var binomTab = func() [maxDistance + 1][maxDistance + 1]float64 {
+	var tab [maxDistance + 1][maxDistance + 1]float64
+	for d := 0; d <= maxDistance; d++ {
+		for k := 0; k <= d; k++ {
+			tab[d][k] = binomial(d, k)
+		}
+	}
+	return tab
+}()
+
+// powCache lazily memoizes math.Pow(x, float64(k)) for small integer k.
+// Every hit returns the exact float64 math.Pow produced, so results are
+// bit-identical to calling math.Pow at every term; the cache only removes
+// the repeated transcendental evaluations the union bound performs for
+// overlapping exponent ranges across distances.
+type powCache struct {
+	x    float64
+	have [maxDistance + 1]bool
+	pow  [maxDistance + 1]float64
+}
+
+func (c *powCache) at(k int) float64 {
+	if !c.have[k] {
+		c.pow[k] = math.Pow(c.x, float64(k))
+		c.have[k] = true
+	}
+	return c.pow[k]
+}
+
 // pairwiseErrorProb is the probability that a hard-decision Viterbi
 // decoder prefers a path at Hamming distance d given channel crossover
 // probability p.
@@ -64,17 +103,32 @@ func pairwiseErrorProb(d int, p float64) float64 {
 	if p >= 0.5 {
 		return 0.5
 	}
-	q := 1 - p
+	pc := powCache{x: p}
+	qc := powCache{x: 1 - p}
+	return pairwiseErrorProbCached(d, p, &pc, &qc)
+}
+
+// pairwiseErrorProbCached is pairwiseErrorProb with the integer powers of
+// p and q = 1−p served from caches shared across a whole union bound. The
+// term order and multiply order match the uncached form exactly, so the
+// sum is bit-identical.
+func pairwiseErrorProbCached(d int, p float64, pc, qc *powCache) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 0.5 {
+		return 0.5
+	}
 	var sum float64
 	if d%2 == 0 {
 		half := d / 2
-		sum += 0.5 * binomial(d, half) * math.Pow(p, float64(half)) * math.Pow(q, float64(half))
+		sum += 0.5 * binomTab[d][half] * pc.at(half) * qc.at(half)
 		for k := half + 1; k <= d; k++ {
-			sum += binomial(d, k) * math.Pow(p, float64(k)) * math.Pow(q, float64(d-k))
+			sum += binomTab[d][k] * pc.at(k) * qc.at(d-k)
 		}
 	} else {
 		for k := (d + 1) / 2; k <= d; k++ {
-			sum += binomial(d, k) * math.Pow(p, float64(k)) * math.Pow(q, float64(d-k))
+			sum += binomTab[d][k] * pc.at(k) * qc.at(d-k)
 		}
 	}
 	return sum
@@ -93,12 +147,17 @@ func CodedBER(rate CodeRate, p float64) float64 {
 	if p <= 0 {
 		return 0
 	}
+	// One power cache pair serves every distance of the spectrum: the
+	// exponent ranges of consecutive distances overlap heavily, so most
+	// math.Pow evaluations are shared instead of recomputed per term.
+	pc := powCache{x: p}
+	qc := powCache{x: 1 - p}
 	var pb float64
 	for i, w := range spec.weights {
 		if w == 0 {
 			continue
 		}
-		pb += w * pairwiseErrorProb(spec.freeDistance+i, p)
+		pb += w * pairwiseErrorProbCached(spec.freeDistance+i, p, &pc, &qc)
 		if pb > 0.5*spec.bitsPerCycle {
 			return 0.5
 		}

@@ -13,25 +13,48 @@ type StreamRate struct {
 	UncodedBER float64
 }
 
-// ThroughputForMCS predicts the PHY goodput of a single spatial stream
-// carrying the given MCS over subcarriers with the given post-equalization
-// linear SINRs. Entries equal to sinrDropped (negative) mark subcarriers
-// the sender does not use: they carry no data and contribute no errors.
-//
-// The model follows the paper's methodology (§4.1): per-subcarrier SINR →
-// raw BER for the constellation → mean raw BER across used subcarriers
-// (one decoder spans all subcarriers, so weak subcarriers drag down the
-// whole frame) → union-bound coded BER → MPDU frame-error rate → goodput.
-func ThroughputForMCS(m MCS, sinrs []float64) StreamRate {
-	used := 0
-	var rawSum float64
+// rawBERSum accumulates the raw BER of every used subcarrier for one
+// constellation, in array order — the same loop ThroughputForMCS ran
+// inline, so the sum is bit-identical. A tiny direct-mapped memo shortcuts
+// repeated inputs: equalized power allocations evaluate rate selection on
+// vectors whose kept entries take only a handful of distinct values
+// (the equalization target ± 1 ulp of reconstruction rounding), so most
+// Q-function evaluations repeat an input just computed.
+func rawBERSum(mp *modParams, sinrs []float64) (sum float64, used int) {
+	var keys, vals [4]float64
+	n, next := 0, 0
 	for _, s := range sinrs {
 		if s < 0 {
 			continue // dropped subcarrier
 		}
 		used++
-		rawSum += UncodedBER(m.Modulation, s)
+		b := -1.0
+		for i := 0; i < n; i++ {
+			if keys[i] == s {
+				b = vals[i]
+				break
+			}
+		}
+		if b < 0 {
+			b = uncodedBER(mp, s)
+			keys[next], vals[next] = s, b
+			if n < len(keys) {
+				n++
+			}
+			next++
+			if next == len(keys) {
+				next = 0
+			}
+		}
+		sum += b
 	}
+	return sum, used
+}
+
+// streamRateFromRaw finishes rate prediction for one MCS given the raw-BER
+// sum over used subcarriers: exactly the tail of the original
+// ThroughputForMCS, operation for operation.
+func streamRateFromRaw(m MCS, rawSum float64, used int) StreamRate {
 	if used == 0 {
 		return StreamRate{MCS: m}
 	}
@@ -42,15 +65,62 @@ func ThroughputForMCS(m MCS, sinrs []float64) StreamRate {
 	return StreamRate{MCS: m, GoodputBps: goodput, FER: fer, UncodedBER: raw}
 }
 
+// ThroughputForMCS predicts the PHY goodput of a single spatial stream
+// carrying the given MCS over subcarriers with the given post-equalization
+// linear SINRs. Entries equal to sinrDropped (negative) mark subcarriers
+// the sender does not use: they carry no data and contribute no errors.
+//
+// The model follows the paper's methodology (§4.1): per-subcarrier SINR →
+// raw BER for the constellation → mean raw BER across used subcarriers
+// (one decoder spans all subcarriers, so weak subcarriers drag down the
+// whole frame) → union-bound coded BER → MPDU frame-error rate → goodput.
+func ThroughputForMCS(m MCS, sinrs []float64) StreamRate {
+	sum, used := rawBERSum(&modTab[m.Modulation], sinrs)
+	return streamRateFromRaw(m, sum, used)
+}
+
+// StreamGoodputCeiling is the highest goodput any MCS can predict for a
+// stream using `used` subcarriers: the top-rate entry with a zero frame
+// error rate, computed with the same float expression streamRateFromRaw
+// uses. Power allocators use it to skip rate selections that provably
+// cannot beat an incumbent.
+func StreamGoodputCeiling(used int) float64 {
+	m := mcsTable[len(mcsTable)-1]
+	return m.DataRateBps() * float64(used) / NumSubcarriers
+}
+
 // BestRate selects the throughput-maximizing MCS for one spatial stream
 // over the given per-subcarrier linear SINRs (negative entries = dropped).
+//
+// Two hoists keep this loop cheap without changing the selection:
+//
+//   - The raw-BER pass over the subcarriers depends only on the
+//     constellation, so it runs at most once per distinct modulation
+//     (four passes for the eight-entry table) instead of once per MCS.
+//   - The table is scanned in descending rate order with ≥ replacement,
+//     which selects the same entry as the ascending strict-> scan (the
+//     lowest-index maximum), but lets an MCS be skipped outright when
+//     its zero-FER ceiling rate·used/52 is already below the incumbent —
+//     its goodput is ceiling·(1−FER) ≤ ceiling, so it can never win. At
+//     working SINRs the top modulation decides within one union bound.
 func BestRate(sinrs []float64) StreamRate {
+	var sums [4]float64
+	var useds [4]int
+	var have [4]bool
 	var best StreamRate
-	for _, m := range Table() {
-		if r := ThroughputForMCS(m, sinrs); r.GoodputBps > best.GoodputBps {
+	table := Table()
+	for i := len(table) - 1; i >= 0; i-- {
+		m := table[i]
+		mod := m.Modulation
+		if !have[mod] {
+			sums[mod], useds[mod] = rawBERSum(&modTab[mod], sinrs)
+			have[mod] = true
+		}
+		if ceiling := m.DataRateBps() * float64(useds[mod]) / NumSubcarriers; ceiling < best.GoodputBps {
+			continue
+		}
+		if r := streamRateFromRaw(m, sums[mod], useds[mod]); r.GoodputBps >= best.GoodputBps {
 			best = r
-		} else if best.GoodputBps == 0 && r.MCS.Index == 0 {
-			best = r // keep MCS0 as the floor when nothing is decodable
 		}
 	}
 	return best
@@ -67,10 +137,16 @@ func MultiDecoderThroughputBps(sinrs []float64) float64 {
 		if s < 0 {
 			continue
 		}
+		var raws [4]float64
+		var have [4]bool
 		var best float64
 		for _, m := range Table() {
-			raw := UncodedBER(m.Modulation, s)
-			coded := CodedBER(m.CodeRate, raw)
+			mod := m.Modulation
+			if !have[mod] {
+				raws[mod] = uncodedBER(&modTab[mod], s)
+				have[mod] = true
+			}
+			coded := CodedBER(m.CodeRate, raws[mod])
 			fer := FrameErrorRate(coded, MPDUBytes*8)
 			rate := m.BitsPerSubcarrierSymbol() / SymbolDuration.Seconds() * (1 - fer)
 			if rate > best {
@@ -108,20 +184,44 @@ type JointRate struct {
 	Used int
 }
 
-// JointThroughputForMCS predicts goodput for one MCS over a [subcarrier][stream]
-// SINR matrix (negative entries = dropped cells).
-func JointThroughputForMCS(m MCS, sinrs [][]float64) JointRate {
-	used := 0
-	var rawSum float64
+// jointRawBERSum is rawBERSum over a [subcarrier][stream] SINR matrix,
+// with the same row-major accumulation order as the original inline loop.
+func jointRawBERSum(mp *modParams, sinrs [][]float64) (sum float64, used int) {
+	var keys, vals [4]float64
+	n, next := 0, 0
 	for _, row := range sinrs {
 		for _, s := range row {
 			if s < 0 {
 				continue
 			}
 			used++
-			rawSum += UncodedBER(m.Modulation, s)
+			b := -1.0
+			for i := 0; i < n; i++ {
+				if keys[i] == s {
+					b = vals[i]
+					break
+				}
+			}
+			if b < 0 {
+				b = uncodedBER(mp, s)
+				keys[next], vals[next] = s, b
+				if n < len(keys) {
+					n++
+				}
+				next++
+				if next == len(keys) {
+					next = 0
+				}
+			}
+			sum += b
 		}
 	}
+	return sum, used
+}
+
+// jointRateFromRaw finishes joint rate prediction for one MCS: the tail of
+// the original JointThroughputForMCS, operation for operation.
+func jointRateFromRaw(m MCS, rawSum float64, used int) JointRate {
 	if used == 0 {
 		return JointRate{MCS: m}
 	}
@@ -132,14 +232,44 @@ func JointThroughputForMCS(m MCS, sinrs [][]float64) JointRate {
 	return JointRate{MCS: m, GoodputBps: goodput, FER: fer, UncodedBER: raw, Used: used}
 }
 
+// JointThroughputForMCS predicts goodput for one MCS over a [subcarrier][stream]
+// SINR matrix (negative entries = dropped cells).
+func JointThroughputForMCS(m MCS, sinrs [][]float64) JointRate {
+	sum, used := jointRawBERSum(&modTab[m.Modulation], sinrs)
+	return jointRateFromRaw(m, sum, used)
+}
+
+// JointGoodputCeiling is the highest goodput any MCS can predict for a
+// joint transmission using `used` subcarrier–stream cells, mirroring
+// jointRateFromRaw's float expression at zero FER.
+func JointGoodputCeiling(used int) float64 {
+	m := mcsTable[len(mcsTable)-1]
+	return m.BitsPerSubcarrierSymbol() * float64(used) / SymbolDuration.Seconds()
+}
+
 // JointBestRate selects the throughput-maximizing single MCS for a whole
-// multi-stream transmission.
+// multi-stream transmission. As in BestRate, the raw-BER pass runs at
+// most once per distinct modulation, the table is scanned in descending
+// rate order with ≥ replacement (same lowest-index argmax as the
+// ascending strict-> scan), and entries whose zero-FER ceiling is below
+// the incumbent are skipped without evaluating the union bound.
 func JointBestRate(sinrs [][]float64) JointRate {
+	var sums [4]float64
+	var useds [4]int
+	var have [4]bool
 	var best JointRate
-	for _, m := range Table() {
-		if r := JointThroughputForMCS(m, sinrs); r.GoodputBps > best.GoodputBps {
-			best = r
-		} else if best.GoodputBps == 0 && r.MCS.Index == 0 {
+	table := Table()
+	for i := len(table) - 1; i >= 0; i-- {
+		m := table[i]
+		mod := m.Modulation
+		if !have[mod] {
+			sums[mod], useds[mod] = jointRawBERSum(&modTab[mod], sinrs)
+			have[mod] = true
+		}
+		if ceiling := m.BitsPerSubcarrierSymbol() * float64(useds[mod]) / SymbolDuration.Seconds(); ceiling < best.GoodputBps {
+			continue
+		}
+		if r := jointRateFromRaw(m, sums[mod], useds[mod]); r.GoodputBps >= best.GoodputBps {
 			best = r
 		}
 	}

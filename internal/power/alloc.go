@@ -114,6 +114,14 @@ func EquiSNRWS(ws *linalg.Workspace, coef []float64, budgetMW float64) Allocatio
 		if usable == 0 {
 			continue
 		}
+		// Dropping more subcarriers only shrinks the zero-FER rate ceiling
+		// (usable is non-increasing in drop), so once even the top MCS at
+		// zero FER cannot strictly beat the incumbent, no later drop count
+		// can either — every remaining candidate would be rejected by the
+		// strict > below. Skipping them changes nothing but the wall clock.
+		if ofdm.StreamGoodputCeiling(usable) <= best.Rate.GoodputBps {
+			break
+		}
 		target := budgetMW / invSum
 		clear(powers)
 		for _, k := range order[drop:] {

@@ -1,0 +1,158 @@
+package precoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/rng"
+)
+
+// kernelEquivTol is the documented kernel-equivalence bound (DESIGN §13):
+// the batched Gram-eig precoding path must match the scalar SVD reference
+// entrywise within this tolerance on every certified subcarrier, on both
+// the default and the GOAMD64=v3 (FMA) codegen paths. Precoder entries
+// are O(1) (orthonormal columns), so an absolute bound is meaningful.
+const kernelEquivTol = 1e-6
+
+func maxPrecoderDiff(a, b *Precoder) float64 {
+	var worst float64
+	for k := range a.PerSubcarrier {
+		ma, mb := a.PerSubcarrier[k], b.PerSubcarrier[k]
+		for i := range ma.Data {
+			re := real(ma.Data[i]) - real(mb.Data[i])
+			im := imag(ma.Data[i]) - imag(mb.Data[i])
+			if d := math.Hypot(re, im); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestBeamformingBatchedMatchesScalar(t *testing.T) {
+	cases := []struct {
+		nRx, nTx, streams int
+	}{
+		{1, 1, 1},
+		{1, 2, 1},
+		{2, 2, 1},
+		{2, 2, 2},
+		{2, 3, 2},
+		{2, 4, 1},
+		{2, 4, 2},
+		{3, 4, 3},
+		{4, 4, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%dx%d_s%d", tc.nRx, tc.nTx, tc.streams), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				csi := channel.NewLink(rng.New(100+seed), tc.nRx, tc.nTx, channel.DBToLinear(-50))
+				var wsB, wsS Workspace
+				batched, err := BeamformingInto(&wsB, nil, csi, tc.streams)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar, err := BeamformingIntoScalar(&wsS, nil, csi, tc.streams)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := maxPrecoderDiff(batched, scalar); d > kernelEquivTol {
+					t.Fatalf("seed %d: batched vs scalar beamforming diverge by %g (tol %g)",
+						seed, d, kernelEquivTol)
+				}
+				if dev := batched.Verify(); dev > 1e-8 {
+					t.Fatalf("seed %d: batched precoder not orthonormal: %g", seed, dev)
+				}
+			}
+		})
+	}
+}
+
+func TestNullingBatchedMatchesScalar(t *testing.T) {
+	cases := []struct {
+		nRx, nTx, victimRx, streams int
+	}{
+		{2, 4, 2, 1},
+		{2, 4, 2, 2},
+		{1, 4, 2, 1},
+		{2, 4, 1, 2},
+		{1, 2, 1, 1},
+		{3, 4, 1, 3},
+		{2, 3, 1, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%dx%d_v%d_s%d", tc.nRx, tc.nTx, tc.victimRx, tc.streams), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				own := channel.NewLink(rng.New(200+seed), tc.nRx, tc.nTx, channel.DBToLinear(-50))
+				cross := channel.NewLink(rng.New(300+seed), tc.victimRx, tc.nTx, channel.DBToLinear(-55))
+				var wsB, wsS Workspace
+				batched, errB := NullingInto(&wsB, nil, own, cross, tc.streams)
+				scalar, errS := NullingIntoScalar(&wsS, nil, own, cross, tc.streams)
+				if errB != nil || errS != nil {
+					t.Fatalf("seed %d: errors batched=%v scalar=%v", seed, errB, errS)
+				}
+				if d := maxPrecoderDiff(batched, scalar); d > kernelEquivTol {
+					t.Fatalf("seed %d: batched vs scalar nulling diverge by %g (tol %g)",
+						seed, d, kernelEquivTol)
+				}
+				if dev := batched.Verify(); dev > 1e-8 {
+					t.Fatalf("seed %d: batched precoder not orthonormal: %g", seed, dev)
+				}
+			}
+		})
+	}
+}
+
+func TestNullingBatchedOverconstrainedParity(t *testing.T) {
+	// A 2-antenna interferer nulling toward a 2-antenna victim has no
+	// nullspace left: both paths must report ErrOverconstrained.
+	own := channel.NewLink(rng.New(41), 2, 2, channel.DBToLinear(-50))
+	cross := channel.NewLink(rng.New(42), 2, 2, channel.DBToLinear(-55))
+	var wsB, wsS Workspace
+	_, errB := NullingInto(&wsB, nil, own, cross, 1)
+	_, errS := NullingIntoScalar(&wsS, nil, own, cross, 1)
+	if !errors.Is(errB, ErrOverconstrained) {
+		t.Fatalf("batched error = %v, want ErrOverconstrained", errB)
+	}
+	if !errors.Is(errS, ErrOverconstrained) {
+		t.Fatalf("scalar error = %v, want ErrOverconstrained", errS)
+	}
+}
+
+// TestBatchedBuildersAllocFree pins the steady-state allocation behaviour
+// of the batched builders: with a warmed workspace and a reused dst, a
+// rebuild must not touch the Go allocator.
+func TestBatchedBuildersAllocFree(t *testing.T) {
+	csi := channel.NewLink(rng.New(51), 2, 4, channel.DBToLinear(-50))
+	cross := channel.NewLink(rng.New(52), 2, 4, channel.DBToLinear(-55))
+	var ws Workspace
+
+	bf, err := BeamformingInto(&ws, nil, csi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := BeamformingInto(&ws, bf, csi, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("BeamformingInto: %v allocs/op, want 0", allocs)
+	}
+
+	nl, err := NullingInto(&ws, nil, csi, cross, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := NullingInto(&ws, nl, csi, cross, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("NullingInto: %v allocs/op, want 0", allocs)
+	}
+}

@@ -184,37 +184,178 @@ func storeMatrix(into, src *linalg.Matrix) *linalg.Matrix {
 	return into
 }
 
+// svGapTol is the relative singular-value gap below which the batched
+// Gram-eig path considers neighbouring singular directions entangled and
+// routes the subcarrier to the scalar SVD reference instead. At gaps
+// above ~1e-4·σmax the Gram eigenvectors are accurate to ≲1e-8, well
+// inside the kernel-equivalence tolerance (DESIGN §13).
+const svGapTol = 1e-4
+
 // BeamformingInto is Beamforming with scratch carved from ws and the
 // result written into dst (allocated if nil, matrix storage reused when
-// shapes match). The workspace is reset per subcarrier, so the caller must
-// not hold any ws-carved values across this call; the returned precoder is
+// shapes match). The caller must not hold any ws-carved values across
+// this call (the workspace is reset internally); the returned precoder is
 // heap-backed and independent of ws.
+//
+// All subcarriers run through the batched Gram-eig kernels
+// (linalg.SVDBatch) in one dispatch; subcarriers whose leading singular
+// directions the batch cannot certify (near-tied singular values) fall
+// back to the per-subcarrier scalar reference, so results match
+// BeamformingIntoScalar within the documented kernel-equivalence
+// tolerance on every input.
 func BeamformingInto(ws *Workspace, dst *Precoder, csi *channel.Link, streams int) (*Precoder, error) {
 	if streams < 1 || streams > csi.NTx() || streams > csi.NRx() {
 		return nil, fmt.Errorf("precoding: cannot send %d streams over a %dx%d channel",
 			streams, csi.NRx(), csi.NTx())
 	}
-	dst = reusePrecoder(dst, streams, len(csi.Subcarriers))
-	for k, h := range csi.Subcarriers {
-		ws.Reset()
-		_, _, v := h.SVDWS(&ws.Workspace)
-		idx := ws.Ints(streams)
-		for i := range idx {
-			idx[i] = i
+	nSC := len(csi.Subcarriers)
+	dst = reusePrecoder(dst, streams, nSC)
+	ws.Reset()
+	res := linalg.SVDBatch(&ws.Workspace, csi.Subcarriers)
+	nt := csi.NTx()
+	fallback := ws.Ints(nSC)
+	nFall := 0
+	pc := ws.Matrix(nt, streams)
+	for k := 0; k < nSC; k++ {
+		if !res.TopSeparated(k, streams, svGapTol) {
+			fallback[nFall] = k
+			nFall++
+			continue
 		}
-		pc := ws.ColsSlice(v, idx)
+		res.VColsInto(pc, k, 0, streams)
 		canonicalize(pc)
 		dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+	}
+	for _, k := range fallback[:nFall] {
+		ws.Reset()
+		beamformSubcarrierScalar(ws, dst, csi, streams, k)
 	}
 	return dst, nil
 }
 
+// BeamformingIntoScalar is the per-subcarrier scalar reference path of
+// BeamformingInto: one SVDWS per subcarrier, exactly the pre-batch
+// implementation. The kernel-equivalence tests cross-check the batched
+// path against it.
+func BeamformingIntoScalar(ws *Workspace, dst *Precoder, csi *channel.Link, streams int) (*Precoder, error) {
+	if streams < 1 || streams > csi.NTx() || streams > csi.NRx() {
+		return nil, fmt.Errorf("precoding: cannot send %d streams over a %dx%d channel",
+			streams, csi.NRx(), csi.NTx())
+	}
+	dst = reusePrecoder(dst, streams, len(csi.Subcarriers))
+	for k := range csi.Subcarriers {
+		ws.Reset()
+		beamformSubcarrierScalar(ws, dst, csi, streams, k)
+	}
+	return dst, nil
+}
+
+// beamformSubcarrierScalar computes subcarrier k of a beamforming
+// precoder via the scalar SVD reference and stores it into dst.
+func beamformSubcarrierScalar(ws *Workspace, dst *Precoder, csi *channel.Link, streams, k int) {
+	_, _, v := csi.Subcarriers[k].SVDWS(&ws.Workspace)
+	idx := ws.Ints(streams)
+	for i := range idx {
+		idx[i] = i
+	}
+	pc := ws.ColsSlice(v, idx)
+	canonicalize(pc)
+	dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+}
+
 // NullingInto is Nulling with scratch carved from ws and the result
 // written into dst (allocated if nil, matrix storage reused when shapes
-// match). The workspace is reset per subcarrier, so the caller must not
-// hold any ws-carved values across this call; the returned precoder is
+// match). The caller must not hold any ws-carved values across this call
+// (the workspace is reset internally); the returned precoder is
 // heap-backed and independent of ws.
+//
+// Both SVDs of the nulling construction run batched: one SVDBatch over
+// the victim channels determines the nullspaces (only where
+// linalg.NullspaceDim can certify the rank decision the scalar reference
+// would make — full-row-rank victims, the ubiquitous case), and a second
+// SVDBatch over the effective in-nullspace channels picks the beamforming
+// directions. The final precoder columns are basis-independent — they are
+// the top singular directions of the own channel restricted to the
+// nullspace subspace — so certified subcarriers agree with
+// NullingIntoScalar to the documented tolerance even though the two paths
+// use different orthonormal nullspace bases internally. Uncertified or
+// gap-deficient subcarriers take the scalar path.
 func NullingInto(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams int) (*Precoder, error) {
+	if own.NTx() != cross.NTx() {
+		return nil, fmt.Errorf("precoding: own/cross antenna mismatch %d vs %d", own.NTx(), cross.NTx())
+	}
+	if streams < 1 || streams > own.NRx() {
+		return nil, fmt.Errorf("precoding: cannot deliver %d streams to a %d-antenna client",
+			streams, own.NRx())
+	}
+	nSC := len(own.Subcarriers)
+	dst = reusePrecoder(dst, streams, nSC)
+	ws.Reset()
+
+	nt := own.NTx()
+	maxRank := cross.NRx()
+	if nt < maxRank {
+		maxRank = nt
+	}
+	res := linalg.SVDBatch(&ws.Workspace, cross.Subcarriers)
+
+	fallback := ws.Ints(nSC)
+	nFall := 0
+	certified := ws.Ints(nSC)
+	nCert := 0
+	nulls := ws.MatrixPtrs(nSC)
+	hes := ws.MatrixPtrs(nSC)
+	for k := 0; k < nSC; k++ {
+		dim, ok := res.NullspaceDim(k, maxRank, rankTol)
+		if !ok {
+			fallback[nFall] = k
+			nFall++
+			continue
+		}
+		if dim < streams {
+			return nil, fmt.Errorf("%w: nullspace dim %d < %d streams (nTx=%d, victim antennas=%d)",
+				ErrOverconstrained, dim, streams, own.NTx(), cross.NRx())
+		}
+		null := ws.Matrix(nt, dim)
+		res.VColsInto(null, k, nt-dim, nt)
+		nulls[k] = null
+		hes[nCert] = ws.Mul(own.Subcarriers[k], null)
+		certified[nCert] = k
+		nCert++
+	}
+
+	if nCert > 0 {
+		heRes := linalg.SVDBatch(&ws.Workspace, hes[:nCert])
+		for idx := 0; idx < nCert; idx++ {
+			k := certified[idx]
+			if !heRes.TopSeparated(idx, streams, svGapTol) {
+				fallback[nFall] = k
+				nFall++
+				continue
+			}
+			dim := nulls[k].Cols
+			v := ws.Matrix(dim, streams)
+			heRes.VColsInto(v, idx, 0, streams)
+			pc := ws.Mul(nulls[k], v)
+			canonicalize(pc)
+			dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+		}
+	}
+
+	for _, k := range fallback[:nFall] {
+		ws.Reset() // batch results are dead past this point; stores are heap-backed
+		if err := nullSubcarrierScalar(ws, dst, own, cross, streams, k); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// NullingIntoScalar is the per-subcarrier scalar reference path of
+// NullingInto: NullspaceWS + SVDWS per subcarrier, exactly the pre-batch
+// implementation. The kernel-equivalence tests cross-check the batched
+// path against it.
+func NullingIntoScalar(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams int) (*Precoder, error) {
 	if own.NTx() != cross.NTx() {
 		return nil, fmt.Errorf("precoding: own/cross antenna mismatch %d vs %d", own.NTx(), cross.NTx())
 	}
@@ -225,21 +366,30 @@ func NullingInto(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams
 	dst = reusePrecoder(dst, streams, len(own.Subcarriers))
 	for k := range own.Subcarriers {
 		ws.Reset()
-		null := cross.Subcarriers[k].NullspaceWS(&ws.Workspace, rankTol)
-		if null.Cols < streams {
-			return nil, fmt.Errorf("%w: nullspace dim %d < %d streams (nTx=%d, victim antennas=%d)",
-				ErrOverconstrained, null.Cols, streams, own.NTx(), cross.NRx())
+		if err := nullSubcarrierScalar(ws, dst, own, cross, streams, k); err != nil {
+			return nil, err
 		}
-		// Effective channel inside the nullspace, then beamform there.
-		he := ws.Mul(own.Subcarriers[k], null)
-		_, _, v := he.SVDWS(&ws.Workspace)
-		idx := ws.Ints(streams)
-		for i := range idx {
-			idx[i] = i
-		}
-		pc := ws.Mul(null, ws.ColsSlice(v, idx))
-		canonicalize(pc)
-		dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
 	}
 	return dst, nil
+}
+
+// nullSubcarrierScalar computes subcarrier k of a nulling precoder via
+// the scalar reference (NullspaceWS + SVDWS) and stores it into dst.
+func nullSubcarrierScalar(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams, k int) error {
+	null := cross.Subcarriers[k].NullspaceWS(&ws.Workspace, rankTol)
+	if null.Cols < streams {
+		return fmt.Errorf("%w: nullspace dim %d < %d streams (nTx=%d, victim antennas=%d)",
+			ErrOverconstrained, null.Cols, streams, own.NTx(), cross.NRx())
+	}
+	// Effective channel inside the nullspace, then beamform there.
+	he := ws.Mul(own.Subcarriers[k], null)
+	_, _, v := he.SVDWS(&ws.Workspace)
+	idx := ws.Ints(streams)
+	for i := range idx {
+		idx[i] = i
+	}
+	pc := ws.Mul(null, ws.ColsSlice(v, idx))
+	canonicalize(pc)
+	dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
+	return nil
 }

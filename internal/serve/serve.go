@@ -76,6 +76,12 @@ type Config struct {
 	// Coherence is the CSI coherence time used to bucket request CSI
 	// ages (default strategy.DefaultCoherence).
 	Coherence time.Duration
+	// EvalHook, when non-nil, runs on the worker goroutine immediately
+	// before each world evaluation. It is a test seam: admission-control
+	// and deduplication tests use it to make selected evaluations
+	// deterministically slow instead of depending on evaluator latency.
+	// Production configs leave it nil.
+	EvalHook func(Request)
 }
 
 // DefaultConfig returns the production defaults.
@@ -492,6 +498,9 @@ func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
 		return
 	}
 
+	if s.cfg.EvalHook != nil {
+		s.cfg.EvalHook(live[0].req)
+	}
 	sample := mEvaluateSeconds.Begin()
 	ws.Reset()
 	outs, err := evaluateWorld(ws, live[0].req, s.cfg.Coherence)

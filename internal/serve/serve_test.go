@@ -26,6 +26,17 @@ func testConfig() Config {
 	}
 }
 
+// slow4x2Hook returns an EvalHook that stalls Scenario4x2 evaluations by d,
+// giving admission-control tests a deterministic "slow blocker" regardless
+// of how fast the evaluator itself has become.
+func slow4x2Hook(d time.Duration) func(Request) {
+	return func(r Request) {
+		if r.Scenario == channel.Scenario4x2 {
+			time.Sleep(d)
+		}
+	}
+}
+
 // req1x1 is the cheap canonical request unit tests evaluate.
 func req1x1(seed int64, mode strategy.Mode) Request {
 	return Request{
@@ -156,6 +167,7 @@ func TestQueueFullSheds(t *testing.T) {
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
 	cfg.MaxBatch = 1
+	cfg.EvalHook = slow4x2Hook(150 * time.Millisecond)
 	s := New(cfg)
 	defer s.Close()
 
@@ -207,6 +219,7 @@ func TestDeadlineExpiresInQueue(t *testing.T) {
 	cfg.Workers = 1
 	cfg.MaxBatch = 1
 	cfg.DefaultDeadline = time.Millisecond
+	cfg.EvalHook = slow4x2Hook(150 * time.Millisecond)
 	s := New(cfg)
 	defer s.Close()
 
@@ -236,6 +249,7 @@ func TestInflightDeduplication(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
 	cfg.MaxBatch = 1
+	cfg.EvalHook = slow4x2Hook(150 * time.Millisecond)
 	s := New(cfg)
 	defer s.Close()
 
@@ -397,6 +411,7 @@ func TestBatchSharesEvaluations(t *testing.T) {
 	cfg.Workers = 1
 	cfg.MaxBatch = 8
 	cfg.CacheEntries = -1 // force both through the pool
+	cfg.EvalHook = slow4x2Hook(150 * time.Millisecond)
 	s := New(cfg)
 	defer s.Close()
 

@@ -2,7 +2,6 @@ package strategy
 
 import (
 	"math"
-	"runtime"
 	"sort"
 	"testing"
 
@@ -18,24 +17,36 @@ type goldenRow struct {
 	pr0, pr1  uint64 // math.Float64bits of Predicted
 }
 
-// goldenOutcomes were captured from the seed implementation (before the
-// workspace refactor) with:
+// goldenOutcomes pin every outcome field of the fixed-seed deployments
+// to the last bit. They were captured with:
 //
 //	src := rng.New(42)
 //	dep := channel.NewDeployment(src.Split(1), sc)
 //	ev := NewEvaluator(dep, channel.DefaultImpairments(), src.Split(2))
 //	outs, _ := ev.EvaluateAll()
 //
-// and recording math.Float64bits of every outcome field. The refactor is
-// required to be bit-for-bit identical, so any drift here means a
-// floating-point operation was reordered somewhere in the pipeline.
+// and recording math.Float64bits of every outcome field. Any drift here
+// means a floating-point operation was reordered somewhere in the
+// pipeline and must be either reverted or deliberately re-baselined.
+//
+// Re-baseline note (batched eigensolver kernels, DESIGN §13): the 4x2
+// and 3x2 rows were re-captured when precoding moved to the batched
+// Gram-eig SVD path. The batched kernels compute the same orthonormal
+// factors via a different (closed-form / batched-Jacobi) operation
+// order, which shifts precoder entries by O(1e-8) and the throughput
+// outcomes below by a few ulps. Equivalence to the scalar reference is
+// enforced separately by internal/precoding's kernel-equivalence suite
+// (kernelEquivTol = 1e-6) in the CI kernel-equivalence matrix. The 1x1
+// rows were unchanged by the re-baseline. To re-capture after another
+// deliberate numeric change: REGEN_GOLDEN=1 go test ./internal/strategy
+// -run TestRegenGolden -v.
 var goldenOutcomes = map[string][]goldenRow{
 	"4x2": {
-		{Kind(0), false, false, 0x4188b32d3f672084, 0x418b6210c0d877a6, 0x41889cba9b5ea9c3, 0x418b62110568b3d3},
-		{Kind(1), false, false, 0x418a6ec9fc50bdaf, 0x418b222856172067, 0x418a6c7ee7882ba2, 0x418b22285617209d},
-		{Kind(2), true, false, 0x4149424aa76c6f94, 0x418563bcdfab73b0, 0x413eb686d9f40d26, 0x418701b79effa2a5},
-		{Kind(3), true, false, 0x41685f7b308d4299, 0x4184c7bff0106740, 0x41694e140be3d6ac, 0x41867e67ef943e35},
-		{Kind(4), true, false, 0x417275cca5f9aff1, 0x4191a6f8b2e2ad0c, 0x41782b7673a4d136, 0x4191f90c4d18eb0e},
+		{Kind(0), false, false, 0x4188b32d3f672070, 0x418b6210c0d877a6, 0x41889cba9b5ea9c2, 0x418b62110568b3d3},
+		{Kind(1), false, false, 0x418a6ec9fc50bdae, 0x418b222856172067, 0x418a6c7ee7882ba9, 0x418b22285617209d},
+		{Kind(2), true, false, 0x4149424aa76c688a, 0x418563bcdfab73b0, 0x413eb686d9f40d71, 0x418701b79effa543},
+		{Kind(3), true, false, 0x41685f7b308d43ae, 0x4184c7bff010656e, 0x41694e140be3d6b7, 0x41867e67ef943c1e},
+		{Kind(4), true, false, 0x417275cca5f9aff3, 0x4191a6f8b2e2ad23, 0x41782b7673a4d0da, 0x4191f90c4d18eb0d},
 	},
 	"1x1": {
 		{Kind(0), false, false, 0x415e43a395259f04, 0x4168b8a383f25896, 0x4160d731ae9c5492, 0x416dc5c690075f93},
@@ -43,11 +54,11 @@ var goldenOutcomes = map[string][]goldenRow{
 		{Kind(3), true, false, 0x41555d5cefa1615d, 0x4170da2f6eb8b822, 0x415562df47bf84ff, 0x4170d9c4b26e8511},
 	},
 	"3x2": {
-		{Kind(0), false, false, 0x4184c294ec7432eb, 0x41889edb1675ce03, 0x4185120e89e6163d, 0x4188a0ea102d170b},
-		{Kind(1), false, false, 0x4186f54384bc7461, 0x418b220d36161c79, 0x4186edcb8ceeb381, 0x418b2213d0c02ed7},
-		{Kind(2), true, true, 0x415727a8ae5bc1e8, 0x41800a9a1e131e18, 0x415a60ca5eae7510, 0x4180089c140fd094},
-		{Kind(3), true, false, 0x41514f7450a4a8aa, 0x417a951fece6ffa9, 0x4150e991af60af1f, 0x417a8e0f5fd9b2c1},
-		{Kind(4), true, true, 0x4178f4cfd104e660, 0x418ab2ca153c5efa, 0x4174701b933987fa, 0x418b3920045f5ad0},
+		{Kind(0), false, false, 0x4184c294ec7432d7, 0x41889edb1675ce0c, 0x4185120e89e61644, 0x4188a0ea102d1707},
+		{Kind(1), false, false, 0x4186f54384bc7463, 0x418b220d36161c79, 0x4186edcb8ceeb37e, 0x418b2213d0c02ed7},
+		{Kind(2), true, true, 0x415727a8ae5bc1d7, 0x41800a9a1e131e18, 0x415a60ca5eae7504, 0x4180089c140fd095},
+		{Kind(3), true, false, 0x41514f7450a4a8e2, 0x417a951fece6ffaa, 0x4150e991af60af6d, 0x417a8e0f5fd9b2b8},
+		{Kind(4), true, true, 0x4178f4cfd104e678, 0x418ab2ca153c5eee, 0x4174701b93398848, 0x418b3920045f5abe},
 	},
 }
 
@@ -57,12 +68,26 @@ var goldenScenarios = map[string]channel.Scenario{
 	"3x2": channel.Scenario3x2,
 }
 
-// matchBits reports whether got reproduces the pinned bits. On amd64 Go
-// never fuses multiply-adds, so the match must be exact; on FMA targets
-// (arm64, ppc64, s390x) the compiler may contract a*b+c, so a tight
-// relative tolerance is used instead.
+// fmaProbe holds operands chosen so that a*b+c is exactly -1 when the
+// compiler contracts it into a fused multiply-add and exactly 0 when the
+// product is rounded first: (2²⁷+1)(2²⁷−1) = 2⁵⁴−1 rounds to 2⁵⁴ in
+// float64. Package-level vars keep the expression out of constant folding
+// so it is evaluated by the same codegen the pipeline gets.
+var fmaProbe = struct{ a, b, c float64 }{0x1p27 + 1, 0x1p27 - 1, -0x1p54}
+
+// fmaContracted reports whether this build fuses a*b+c. True on
+// FMA-native GOARCHes (arm64, ppc64, s390x) and on amd64 when built with
+// GOAMD64=v3 or higher; false on default amd64 builds. Probed at runtime
+// rather than keyed on runtime.GOARCH so the golden comparison stays
+// bit-exact precisely when the codegen makes that possible.
+var fmaContracted = fmaProbe.a*fmaProbe.b+fmaProbe.c != 0
+
+// matchBits reports whether got reproduces the pinned bits. On builds
+// without multiply-add contraction the match must be exact; on FMA
+// builds the compiler may contract a*b+c, so a tight relative tolerance
+// is used instead.
 func matchBits(got float64, want uint64) bool {
-	if runtime.GOARCH == "amd64" {
+	if !fmaContracted {
 		return math.Float64bits(got) == want
 	}
 	w := math.Float64frombits(want)
