@@ -1,0 +1,43 @@
+package precoding
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/linalg"
+)
+
+// Forces every subcarrier to the scalar fallback (tied singular values)
+// and checks batched == scalar.
+func TestBeamformingFallbackAliasRepro(t *testing.T) {
+	const nSC = 8
+	csi := &channel.Link{Subcarriers: make([]*linalg.Matrix, nSC)}
+	for k := 0; k < nSC; k++ {
+		m := linalg.NewMatrix(2, 2)
+		// distinct per-subcarrier unitary-ish matrix with tied singular values
+		ph := complex(0, float64(k)*0.3)
+		m.Data[0] = cmplx.Exp(ph)
+		m.Data[1] = 0
+		m.Data[2] = 0
+		m.Data[3] = cmplx.Exp(-ph)
+		csi.Subcarriers[k] = m
+	}
+	var wsB, wsS Workspace
+	batched, err := BeamformingInto(&wsB, nil, csi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := BeamformingIntoScalar(&wsS, nil, csi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range scalar.PerSubcarrier {
+		if batched.PerSubcarrier[k] == nil {
+			t.Fatalf("subcarrier %d: batched precoder entry is nil (never computed)", k)
+		}
+	}
+	if d := maxPrecoderDiff(batched, scalar); d > kernelEquivTol {
+		t.Fatalf("batched vs scalar diverge by %g", d)
+	}
+}
