@@ -6,7 +6,7 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|EigHermitianBatch|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition|FleetMergeShard
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|EigHermitianBatch|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition|FleetMergeShard|DriftStep|IncrementalRealloc|ColdRealloc
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
@@ -16,7 +16,7 @@ TOOLS_BIN := $(CURDIR)/.tools/bin
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet staticcheck govulncheck check kernel-equiv bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke fleet-smoke clean
+.PHONY: all build test race vet staticcheck govulncheck check kernel-equiv bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke fleet-smoke drift-smoke clean
 
 all: build test
 
@@ -94,6 +94,17 @@ bench-check:
 bench-baseline:
 	$(GO) run ./cmd/copabench -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -out BENCH_baseline.json
 
+# drift-smoke proves the mobility subsystem's core guarantees under the
+# race detector — at speed 0 the controller provably never re-negotiates
+# and matches the static path byte for byte, identically-seeded mobile
+# runs agree on every statistic, and the incremental re-solve stays both
+# within tolerance of and >=3x cheaper than the from-scratch solve —
+# then closes the loop with a real copacampaign -mobility sweep.
+drift-smoke:
+	$(GO) test -race -run 'TestControllerSpeedZeroNeverRenegotiates|TestControllerDeterministicAcrossRuns|TestIncrementalTracksFromScratch|TestControllerChurnForcesFullExchange' -v ./internal/drift
+	$(GO) test -race -run 'TestIncrementalReallocSpeedup' -v .
+	$(GO) run ./cmd/copacampaign -mobility -topologies 2 -duration 60ms -drift-thresholds 1 -q
+
 # fuzz campaigns the wire-format parsers (go test accepts one -fuzz
 # target per invocation, hence the sequence). FUZZTIME=2m make fuzz for
 # a longer run.
@@ -102,6 +113,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzITSReqParse$$' -fuzztime $(FUZZTIME) ./internal/mac
 	$(GO) test -run '^$$' -fuzz '^FuzzITSAckParse$$' -fuzztime $(FUZZTIME) ./internal/mac
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMatrices$$' -fuzztime $(FUZZTIME) ./internal/csi
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDelta$$' -fuzztime $(FUZZTIME) ./internal/csi
 
 # serve runs the allocation daemon on its default port with debug
 # endpoints enabled; override SERVE_FLAGS for a different shape.

@@ -53,6 +53,9 @@ func run(args []string, stdout *os.File) int {
 	deltaDB := fs.Float64("interference-delta-db", 0, "scale all cross-channels by this many dB (-10 = Fig. 12)")
 	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
 	multi := fs.Bool("multi-decoder", false, "evaluate with per-subcarrier rate selection")
+	mobility := fs.Bool("mobility", false, "run the drift-controller mobility sweep (speed × re-negotiation rate) instead of a scheme campaign")
+	mob := cliflags.Mobility(fs)
+	driftThresholds := fs.String("drift-thresholds", "0.5,1,2", "-mobility: comma-separated drift-detector thresholds (dB) to sweep")
 	out := fs.String("out", "", "write the merged aggregates as JSON to this file ('-' for stdout)")
 	csvDir := fs.String("csv", "", "directory to write summary/CDF CSVs into")
 	quiet := fs.Bool("q", false, "suppress the progress line and summary table")
@@ -68,6 +71,19 @@ func run(args []string, stdout *os.File) int {
 		return 1
 	}
 	defer stopDebug()
+
+	// -mobility is a self-contained local sweep: each cell is one drift
+	// controller run, so the checkpoint/fleet machinery has nothing to
+	// shard and is rejected rather than silently ignored.
+	if *mobility {
+		if ff.Join != "" || ff.Coordinator != "" || cf.Checkpoint != "" || cf.Resume {
+			fmt.Fprintln(os.Stderr, "copacampaign: -mobility runs locally; it cannot combine with -join, -serve-coordinator, -checkpoint, or -resume")
+			return 2
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runMobility(ctx, stdout, *scenario, *seed, *topologies, mob, *driftThresholds, *csvDir, *quiet)
+	}
 
 	if err := ff.Validate(cf); err != nil {
 		fmt.Fprintf(os.Stderr, "copacampaign: %v\n", err)

@@ -23,6 +23,12 @@ type allocateRequest struct {
 	Impairments  string  `json:"impairments,omitempty"`
 	CSIAgeMS     float64 `json:"csi_age_ms,omitempty"`
 	MultiDecoder bool    `json:"multi_decoder,omitempty"`
+	// Session mode: TimeMS is the controller time of a long-running
+	// session; the server derives the CSI epoch and age bucket from it
+	// (csi_age_ms is ignored) and the reply carries the allocation's
+	// epoch and validity horizon.
+	Session bool    `json:"session,omitempty"`
+	TimeMS  float64 `json:"time_ms,omitempty"`
 }
 
 // outcomeJSON is one strategy's evaluation in wire form.
@@ -48,10 +54,14 @@ func toOutcomeJSON(o strategy.Outcome) outcomeJSON {
 
 // allocateResponse is the POST /v1/allocate reply.
 type allocateResponse struct {
-	Cached    bool                   `json:"cached"`
-	AgeBucket int                    `json:"age_bucket"`
-	Selected  outcomeJSON            `json:"selected"`
-	Outcomes  map[string]outcomeJSON `json:"outcomes"`
+	Cached    bool  `json:"cached"`
+	AgeBucket int   `json:"age_bucket"`
+	Epoch     int64 `json:"epoch,omitempty"`
+	// ValidUntilMS is the session controller time at which this
+	// allocation's age bucket expires (session mode only).
+	ValidUntilMS float64                `json:"valid_until_ms,omitempty"`
+	Selected     outcomeJSON            `json:"selected"`
+	Outcomes     map[string]outcomeJSON `json:"outcomes"`
 }
 
 // errorResponse is every non-2xx body.
@@ -89,6 +99,12 @@ func parseRequest(ar allocateRequest) (serve.Request, error) {
 	if ar.CSIAgeMS < 0 {
 		return req, fmt.Errorf("negative csi_age_ms %g", ar.CSIAgeMS)
 	}
+	if ar.TimeMS < 0 {
+		return req, fmt.Errorf("negative time_ms %g", ar.TimeMS)
+	}
+	if ar.TimeMS > 0 && !ar.Session {
+		return req, fmt.Errorf("time_ms requires session mode")
+	}
 	req = serve.Request{
 		Scenario:     sc,
 		Seed:         ar.Seed,
@@ -96,6 +112,8 @@ func parseRequest(ar allocateRequest) (serve.Request, error) {
 		Impairments:  imp,
 		CSIAge:       time.Duration(ar.CSIAgeMS * float64(time.Millisecond)),
 		MultiDecoder: ar.MultiDecoder,
+		Session:      ar.Session,
+		Time:         time.Duration(ar.TimeMS * float64(time.Millisecond)),
 	}
 	return req, nil
 }
@@ -155,10 +173,12 @@ func newMux(srv *serve.Server) *http.ServeMux {
 			return
 		}
 		resp := allocateResponse{
-			Cached:    cached,
-			AgeBucket: res.AgeBucket,
-			Selected:  toOutcomeJSON(res.Selected),
-			Outcomes:  make(map[string]outcomeJSON, len(res.Outcomes)),
+			Cached:       cached,
+			AgeBucket:    res.AgeBucket,
+			Epoch:        res.Epoch,
+			ValidUntilMS: float64(res.ValidUntil) / float64(time.Millisecond),
+			Selected:     toOutcomeJSON(res.Selected),
+			Outcomes:     make(map[string]outcomeJSON, len(res.Outcomes)),
 		}
 		for k, o := range res.Outcomes {
 			resp.Outcomes[k.String()] = toOutcomeJSON(o)

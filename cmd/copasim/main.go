@@ -36,11 +36,12 @@ func main() { os.Exit(run(os.Args[1:])) }
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("copasim", flag.ExitOnError)
-	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
+	fig := fs.String("fig", "all", "figure to reproduce: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,mobility,all")
 	seed := cliflags.Seed(fs, 1)
 	topologies := fs.Int("topologies", 30, "number of topologies per scenario")
 	lossRate := fs.Float64("loss", 0, "-fig loss: evaluate this single control-frame loss rate instead of the 0–30% sweep")
 	burst := fs.Float64("burst", 1, "-fig loss: mean loss-burst length in frames (>1 switches to Gilbert–Elliott bursts)")
+	mob := cliflags.Mobility(fs)
 	skipPlus := fs.Bool("skip-copa-plus", false, "skip the slow mercury/water-filling (COPA+) variants")
 	workers := fs.Int("workers", 0, "bound parallel topology evaluation (0 = GOMAXPROCS)")
 	outDir := fs.String("out", "", "directory to also write CSV data files into")
@@ -146,9 +147,10 @@ func run(args []string) int {
 	runOne("accuracy", func() error { return printAccuracy(ctx, *seed, *topologies) })
 	runOne("backlog", func() error { return printBacklog(*seed) })
 	runOne("loss", func() error { return printLossSweep(ctx, *seed, *topologies, *lossRate, *burst) })
+	runOne("mobility", func() error { return printMobility(ctx, *seed, *topologies, mob) })
 	if !matched {
 		logger.Error("unknown figure", "fig", *fig)
-		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,all")
+		fmt.Fprintln(os.Stderr, "valid figures: 2,3,4,7,9,10,11,12,13,14,table1,headlines,accuracy,backlog,loss,mobility,all")
 		return 2
 	}
 	if failed {
@@ -183,6 +185,8 @@ func title(name string) string {
 		return "Backlog drain (§3.5)"
 	case "loss":
 		return "Throughput vs control-frame loss"
+	case "mobility":
+		return "Realized aggregate throughput vs client speed"
 	default:
 		return "Figure " + name
 	}
@@ -420,5 +424,39 @@ func printHeadlines(ctx context.Context, seed int64, topologies int) error {
 	fmt.Printf("Null win median (where wins) : %+5.1f%%  [paper: +12%%]\n", hs.NullWinMedian*100)
 	fmt.Printf("COPA win median (same set)   : %+5.1f%%  [paper: +45%%]\n", hs.COPAWinMedianWhereNullWins*100)
 	fmt.Printf("price of fairness            : %5.1f%%  [paper: ≈3–6%%]\n", hs.PriceOfFairness*100)
+	return nil
+}
+
+func printMobility(ctx context.Context, seed int64, topologies int, mob *cliflags.MobilityFlags) error {
+	if err := mob.Validate(); err != nil {
+		return err
+	}
+	cfg := testbed.DefaultMobilityConfig(seed)
+	// The sweep runs a full controller per cell; cap the population to
+	// keep -fig all fast.
+	if topologies < cfg.Topologies {
+		cfg.Topologies = topologies
+	}
+	cfg.SpeedsMps = mob.Speeds(testbed.DefaultSpeeds())
+	cfg.ThresholdsDB = []float64{mob.ThresholdDB}
+	cfg.Duration = mob.Duration
+	cfg.Step = mob.Step
+	cfg.ReassocPerSec = mob.ReassocPerSec
+	cfg.ChurnPerSec = mob.ChurnPerSec
+	sweep, err := testbed.RunMobilitySweep(ctx, channel.Scenario4x2, cfg)
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		maybeExport(sweep.ExportCSV(csvDir))
+	}
+	fmt.Printf("4x2, %d topologies, %v per cell — realized aggregate vs client speed (threshold %.1f dB)\n",
+		cfg.Topologies, cfg.Duration, mob.ThresholdDB)
+	fmt.Println("  speed     aggregate   renegs/s  incr/s  revoked/s  delta-share")
+	for _, p := range sweep.Points {
+		fmt.Printf("  %5.1f m/s %7.1f Mb/s  %7.2f  %6.2f  %9.2f  %10.1f%%\n",
+			p.SpeedMps, p.AggregateBps/1e6, p.RenegsPerSec, p.IncrementalPerSec,
+			p.CertRevocationsPerSec, p.DeltaByteShare*100)
+	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"copa/internal/channel"
 	"copa/internal/core"
 	"copa/internal/csi"
+	"copa/internal/drift"
 	"copa/internal/mac"
 	"copa/internal/obs"
 	"copa/internal/power"
@@ -365,6 +366,36 @@ func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
 // DefaultServerConfig returns the serving defaults: one worker per CPU,
 // a 64-deep queue, a 200µs batch window and a 1024-entry result cache.
 func DefaultServerConfig() ServerConfig { return serve.DefaultConfig() }
+
+// Mobility subsystem (DESIGN §14): time-evolving channels plus the
+// online incremental re-allocation controller.
+type (
+	// DriftConfig parameterizes the online re-allocation controller.
+	DriftConfig = drift.Config
+	// DriftController runs the drift detector + re-allocation loop over
+	// one evolving AP pair.
+	DriftController = drift.Controller
+	// DriftStats accumulates what a controller run did.
+	DriftStats = drift.Stats
+	// MobilityProfile is a named mobility speed (Static, Pedestrian,
+	// Vehicular).
+	MobilityProfile = drift.Profile
+)
+
+var (
+	// NewDriftController builds a controller over a deployment.
+	NewDriftController = drift.NewController
+	// DefaultDriftConfig returns the standard controller settings.
+	DefaultDriftConfig = drift.DefaultConfig
+	// Pedestrian and Vehicular are the standard mobility profiles.
+	Pedestrian = drift.Pedestrian
+	Vehicular  = drift.Vehicular
+	// RunMobilitySweep runs the controller over a (threshold, speed,
+	// topology) grid — the realized-throughput-vs-speed figure.
+	RunMobilitySweep = testbed.RunMobilitySweep
+	// DefaultMobilityConfig sizes the sweep to run in seconds.
+	DefaultMobilityConfig = testbed.DefaultMobilityConfig
+)
 
 // Experiment entry points (one per paper artifact).
 var (

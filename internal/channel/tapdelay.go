@@ -300,7 +300,24 @@ func (l *Link) Evolve(src *rng.Source, dt, coherenceTime float64) {
 	if math.IsInf(coherenceTime, 1) || dt <= 0 {
 		return
 	}
-	rho := math.Exp(-dt / coherenceTime)
+	l.EvolveRho(src, math.Exp(-dt/coherenceTime))
+}
+
+// EvolveRho is the AR(1) evolution step with an explicit per-step tap
+// correlation ρ ∈ [0, 1]: tap ← ρ·tap + √(1−ρ²)·innovation, preserving
+// per-tap power, with the innovation drawn under the same Kronecker
+// spatial correlation as the original realization. Callers that model a
+// specific Doppler spectrum (internal/drift uses the Jakes-shaped
+// ρ = J₀(2π·f_d·dt)) supply ρ directly instead of the Gauss–Markov
+// exp(−dt/tc). ρ ≥ 1 is a no-op — a static channel (speed 0) is not
+// touched at all, so its realization stays byte-identical.
+func (l *Link) EvolveRho(src *rng.Source, rho float64) {
+	if rho >= 1 {
+		return
+	}
+	if rho < 0 {
+		rho = 0
+	}
 	inno := math.Sqrt(1 - rho*rho)
 	pdp := tapPowers()
 	nRx, nTx := l.Taps[0].Rows, l.Taps[0].Cols

@@ -294,3 +294,59 @@ func (d *DebugFlags) dumpTrace() error {
 	}
 	return f.Close()
 }
+
+// MobilityFlags is the time-evolving-channel flag group shared by
+// copasim's mobility figure and copacampaign's mobility mode.
+type MobilityFlags struct {
+	// SpeedMps is the client speed; < 0 means "sweep the default grid"
+	// for tools that support a sweep axis.
+	SpeedMps float64
+	// Duration is the simulated time per cell.
+	Duration time.Duration
+	// Step is the drift controller's tick.
+	Step time.Duration
+	// ThresholdDB is the drift detector's excursion threshold.
+	ThresholdDB float64
+	// ReassocPerSec / ChurnPerSec drive the event timeline.
+	ReassocPerSec float64
+	ChurnPerSec   float64
+}
+
+// Mobility registers -speed, -duration, -drift-step, -drift-threshold,
+// -reassoc-rate and -churn-rate on fs.
+func Mobility(fs *flag.FlagSet) *MobilityFlags {
+	m := &MobilityFlags{}
+	fs.Float64Var(&m.SpeedMps, "speed", -1, "client speed in m/s (-1 sweeps the default 0…vehicular grid)")
+	fs.DurationVar(&m.Duration, "duration", 300*time.Millisecond, "simulated time per mobility cell")
+	fs.DurationVar(&m.Step, "drift-step", 5*time.Millisecond, "drift controller tick")
+	fs.Float64Var(&m.ThresholdDB, "drift-threshold", 1.0, "drift detector excursion threshold (dB)")
+	fs.Float64Var(&m.ReassocPerSec, "reassoc-rate", 0, "client re-association events per second per client")
+	fs.Float64Var(&m.ChurnPerSec, "churn-rate", 0, "AP churn events per second per AP")
+	return m
+}
+
+// Validate rejects unusable mobility settings.
+func (m *MobilityFlags) Validate() error {
+	if m.Duration <= 0 {
+		return fmt.Errorf("-duration must be > 0 (got %v)", m.Duration)
+	}
+	if m.Step <= 0 || m.Step > m.Duration {
+		return fmt.Errorf("-drift-step must be in (0, -duration] (got %v)", m.Step)
+	}
+	if m.ThresholdDB <= 0 {
+		return fmt.Errorf("-drift-threshold must be > 0 dB (got %g)", m.ThresholdDB)
+	}
+	if m.ReassocPerSec < 0 || m.ChurnPerSec < 0 {
+		return fmt.Errorf("event rates must be ≥ 0")
+	}
+	return nil
+}
+
+// Speeds returns the sweep axis: the single configured speed, or the
+// default grid when unset.
+func (m *MobilityFlags) Speeds(defaults []float64) []float64 {
+	if m.SpeedMps >= 0 {
+		return []float64{m.SpeedMps}
+	}
+	return defaults
+}

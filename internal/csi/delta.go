@@ -1,0 +1,175 @@
+package csi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"copa/internal/linalg"
+)
+
+// Delta-CSI frames (internal/drift): once a session is established, the
+// follower's channel drifts slowly between epochs, so re-sending a full
+// CSI frame wastes control airtime. A delta frame carries the
+// difference matrices next − base against the last full frame both
+// sides hold — and because the diff of a tapped-delay channel is itself
+// band-limited in frequency, the encoder subsamples it 1:deltaStride
+// across subcarriers and the decoder reconstructs the skipped diffs by
+// linear interpolation. The interpolation error is a fraction of the
+// diff magnitude, which in the low-drift regime the frames exist for is
+// already tens of dB below the channel, so the reconstruction stays
+// well inside the codec's own quantization noise while the payload
+// shrinks by ~the stride factor.
+//
+// The frame is epoch-stamped on both ends: the receiver rejects a delta
+// built against a base epoch it no longer holds (ErrStaleEpoch) instead
+// of silently applying it to the wrong reference, which would corrupt
+// the reconstructed channel for the rest of the session.
+
+const (
+	deltaMagic   = 0xC0FD
+	deltaVersion = 1
+	// deltaHeaderLen = magic(2) + version(1) + baseEpoch(8) +
+	// nextEpoch(8) + stride(1).
+	deltaHeaderLen = 20
+	// deltaStride is the frequency-domain subsampling factor applied to
+	// the diff series. The decoder reads the stride from the frame, so
+	// this can change without a version bump.
+	deltaStride = 4
+)
+
+// ErrStaleEpoch is returned by DecodeDelta when the frame was encoded
+// against a different base epoch than the receiver holds — the receiver
+// must request a full frame instead.
+var ErrStaleEpoch = errors.New("csi: delta frame built against a stale base epoch")
+
+// deltaSampleIndices returns the subcarrier indices a stride-subsampled
+// delta frame carries: every stride-th index plus the final one, so the
+// decoder always interpolates between two carried anchors.
+func deltaSampleIndices(n, stride int) []int {
+	if stride < 1 {
+		stride = 1
+	}
+	idx := make([]int, 0, n/stride+2)
+	for k := 0; k < n; k += stride {
+		idx = append(idx, k)
+	}
+	if last := n - 1; len(idx) == 0 || idx[len(idx)-1] != last {
+		idx = append(idx, last)
+	}
+	return idx
+}
+
+// EncodeDelta encodes next − base as a delta frame. base and next must
+// be shape-identical matrix series (same count, same dimensions);
+// baseEpoch identifies the full frame the receiver will apply the delta
+// to, nextEpoch the epoch the reconstruction is valid for.
+func EncodeDelta(base, next []*linalg.Matrix, baseEpoch, nextEpoch int64) ([]byte, error) {
+	if len(base) == 0 || len(base) != len(next) {
+		return nil, fmt.Errorf("csi: delta series mismatch: %d base vs %d next", len(base), len(next))
+	}
+	rows, cols := base[0].Rows, base[0].Cols
+	for i := range base {
+		b, n := base[i], next[i]
+		if b.Rows != rows || b.Cols != cols || n.Rows != rows || n.Cols != cols {
+			return nil, fmt.Errorf("csi: delta shape mismatch at subcarrier %d: %dx%d vs %dx%d",
+				i, b.Rows, b.Cols, n.Rows, n.Cols)
+		}
+	}
+	idx := deltaSampleIndices(len(base), deltaStride)
+	diffs := make([]*linalg.Matrix, len(idx))
+	for s, k := range idx {
+		d := linalg.NewMatrix(rows, cols)
+		for j := range d.Data {
+			d.Data[j] = next[k].Data[j] - base[k].Data[j]
+		}
+		diffs[s] = d
+	}
+	payload, err := EncodeMatrices(diffs)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, deltaHeaderLen, deltaHeaderLen+len(payload))
+	binary.LittleEndian.PutUint16(frame[0:2], deltaMagic)
+	frame[2] = deltaVersion
+	binary.LittleEndian.PutUint64(frame[3:11], uint64(baseEpoch))
+	binary.LittleEndian.PutUint64(frame[11:19], uint64(nextEpoch))
+	frame[19] = deltaStride
+	return append(frame, payload...), nil
+}
+
+// DecodeDelta applies a delta frame to the base series the receiver
+// holds (stamped baseEpoch) and returns the reconstructed series plus
+// the epoch it is valid for. Structural failures return ErrCorrupt; a
+// frame built against a different base epoch returns ErrStaleEpoch and
+// the caller should fall back to requesting a full CSI frame.
+func DecodeDelta(data []byte, base []*linalg.Matrix, baseEpoch int64) ([]*linalg.Matrix, int64, error) {
+	if len(data) < deltaHeaderLen {
+		return nil, 0, fmt.Errorf("%w: truncated delta header", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint16(data[0:2]) != deltaMagic {
+		return nil, 0, fmt.Errorf("%w: bad delta magic", ErrCorrupt)
+	}
+	if data[2] != deltaVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported delta version %d", ErrCorrupt, data[2])
+	}
+	frameBase := int64(binary.LittleEndian.Uint64(data[3:11]))
+	nextEpoch := int64(binary.LittleEndian.Uint64(data[11:19]))
+	stride := int(data[19])
+	if stride < 1 {
+		return nil, 0, fmt.Errorf("%w: zero delta stride", ErrCorrupt)
+	}
+	if frameBase != baseEpoch {
+		return nil, 0, fmt.Errorf("%w: frame base %d, held base %d", ErrStaleEpoch, frameBase, baseEpoch)
+	}
+	if len(base) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty base series", ErrCorrupt)
+	}
+	diffs, err := DecodeMatrices(data[deltaHeaderLen:])
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := deltaSampleIndices(len(base), stride)
+	if len(diffs) != len(idx) {
+		return nil, 0, fmt.Errorf("%w: delta carries %d matrices, stride %d over %d subcarriers needs %d",
+			ErrCorrupt, len(diffs), stride, len(base), len(idx))
+	}
+	rows, cols := base[0].Rows, base[0].Cols
+	for i, b := range base {
+		if b.Rows != rows || b.Cols != cols {
+			return nil, 0, fmt.Errorf("%w: inconsistent base shapes at subcarrier %d", ErrCorrupt, i)
+		}
+	}
+	for s, d := range diffs {
+		if d.Rows != rows || d.Cols != cols {
+			return nil, 0, fmt.Errorf("%w: delta shape %dx%d vs base %dx%d at anchor %d",
+				ErrCorrupt, d.Rows, d.Cols, rows, cols, s)
+		}
+	}
+	out := make([]*linalg.Matrix, len(base))
+	// Walk anchor segments, linearly interpolating the diff between
+	// consecutive carried anchors.
+	seg := 0
+	for k := range base {
+		for seg+1 < len(idx) && idx[seg+1] < k {
+			seg++
+		}
+		a := idx[seg]
+		b := a
+		da, db := diffs[seg], diffs[seg]
+		if seg+1 < len(idx) {
+			b, db = idx[seg+1], diffs[seg+1]
+		}
+		var w float64
+		if b > a {
+			w = float64(k-a) / float64(b-a)
+		}
+		m := linalg.NewMatrix(rows, cols)
+		for j := range m.Data {
+			d := da.Data[j] + complex(w, 0)*(db.Data[j]-da.Data[j])
+			m.Data[j] = base[k].Data[j] + d
+		}
+		out[k] = m
+	}
+	return out, nextEpoch, nil
+}

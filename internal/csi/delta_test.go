@@ -1,0 +1,102 @@
+package csi
+
+import (
+	"errors"
+	"testing"
+
+	"copa/internal/rng"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	l := testLink(7, 2, 4)
+	drifted := l.Clone()
+	drifted.EvolveRho(rng.New(99), 0.995)
+
+	frame, err := EncodeDelta(l.Subcarriers, drifted.Subcarriers, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, epoch, err := DecodeDelta(frame, l.Subcarriers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 {
+		t.Fatalf("epoch = %d, want 4", epoch)
+	}
+	if len(rec) != len(drifted.Subcarriers) {
+		t.Fatalf("reconstructed %d matrices, want %d", len(rec), len(drifted.Subcarriers))
+	}
+	if errDB := ReconstructionErrorDB(drifted.Subcarriers, rec); errDB > -10 {
+		t.Fatalf("delta reconstruction error %.1f dB, want < -10 dB", errDB)
+	}
+}
+
+func TestDeltaSmallerThanFull(t *testing.T) {
+	l := testLink(11, 2, 4)
+	drifted := l.Clone()
+	drifted.EvolveRho(rng.New(5), 0.999)
+
+	full, err := EncodeMatrices(drifted.Subcarriers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := EncodeDelta(l.Subcarriers, drifted.Subcarriers, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) >= len(full) {
+		t.Fatalf("delta frame %dB not smaller than full frame %dB", len(delta), len(full))
+	}
+}
+
+func TestDeltaStaleEpoch(t *testing.T) {
+	l := testLink(13, 2, 2)
+	drifted := l.Clone()
+	drifted.EvolveRho(rng.New(6), 0.99)
+
+	frame, err := EncodeDelta(l.Subcarriers, drifted.Subcarriers, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeDelta(frame, l.Subcarriers, 4); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("held base 4 vs frame base 5: got %v, want ErrStaleEpoch", err)
+	}
+}
+
+func TestDeltaTruncationAndCorruption(t *testing.T) {
+	l := testLink(17, 2, 2)
+	drifted := l.Clone()
+	drifted.EvolveRho(rng.New(8), 0.99)
+
+	frame, err := EncodeDelta(l.Subcarriers, drifted.Subcarriers, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, deltaHeaderLen - 1, deltaHeaderLen, len(frame) / 2} {
+		if _, _, err := DecodeDelta(frame[:cut], l.Subcarriers, 0); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeDelta(bad, l.Subcarriers, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDeltaShapeMismatch(t *testing.T) {
+	a := testLink(19, 2, 4)
+	b := testLink(19, 2, 2)
+	if _, err := EncodeDelta(a.Subcarriers, b.Subcarriers, 0, 1); err == nil {
+		t.Fatal("encoding mismatched shapes succeeded")
+	}
+	drifted := a.Clone()
+	drifted.EvolveRho(rng.New(9), 0.99)
+	frame, err := EncodeDelta(a.Subcarriers, drifted.Subcarriers, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeDelta(frame, b.Subcarriers, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("base with wrong shape: got %v, want ErrCorrupt", err)
+	}
+}

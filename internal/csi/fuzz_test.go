@@ -1,9 +1,52 @@
 package csi
 
-import "testing"
+import (
+	"testing"
+
+	"copa/internal/rng"
+)
 
 // FuzzDecodeMatrices: arbitrary payloads must fail cleanly or decode into
 // structurally valid matrices — never panic.
+// FuzzDecodeDelta: arbitrary delta frames applied to a fixed base must
+// fail cleanly (ErrCorrupt / ErrStaleEpoch) or reconstruct structurally
+// valid matrices — never panic. Seeds cover the empty frame, a valid
+// frame, a truncated frame, and a stale-epoch frame.
+func FuzzDecodeDelta(f *testing.F) {
+	base := testLink(21, 2, 4)
+	drifted := base.Clone()
+	drifted.EvolveRho(rng.New(3), 0.99)
+	good, err := EncodeDelta(base.Subcarriers, drifted.Subcarriers, 7, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	stale, err := EncodeDelta(base.Subcarriers, drifted.Subcarriers, 6, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stale)
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0x55
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, _, err := DecodeDelta(data, base.Subcarriers, 7)
+		if err != nil {
+			return
+		}
+		if len(rec) != len(base.Subcarriers) {
+			t.Fatalf("reconstructed %d matrices from %d-subcarrier base", len(rec), len(base.Subcarriers))
+		}
+		for _, m := range rec {
+			if m.Rows != 2 || m.Cols != 4 || len(m.Data) != 8 {
+				t.Fatal("reconstructed inconsistent shapes")
+			}
+		}
+	})
+}
+
 func FuzzDecodeMatrices(f *testing.F) {
 	f.Add([]byte{})
 	l := testLink(1, 2, 4)

@@ -1,0 +1,102 @@
+package drift
+
+import (
+	"math"
+
+	"copa/internal/channel"
+	"copa/internal/linalg"
+	"copa/internal/precoding"
+)
+
+// Detector watches the gap between the throughput the last allocation
+// predicted and what the true channels actually deliver. Because
+// prediction runs on noisy CSI estimates, the gap is non-zero even on a
+// frozen channel; what signals drift is the gap MOVING away from where
+// it sat right after the allocation was computed. The detector
+// therefore baselines the gap at every (re-)allocation and triggers on
+// the excursion from that baseline — on a static channel the realized
+// and predicted values are both exactly constant, so the excursion is
+// exactly zero and the detector provably never fires.
+type Detector struct {
+	// ThresholdDB is the excursion (in dB) of the realized/predicted
+	// throughput ratio from its post-allocation baseline that triggers
+	// re-allocation.
+	ThresholdDB float64
+
+	baseline float64
+	primed   bool
+}
+
+// gapDB compresses realized-vs-predicted into a single dB figure.
+// Zeros are clamped to a floor so a dead allocation (realized 0) shows
+// up as a huge, finite excursion rather than a NaN.
+func gapDB(predicted, realized float64) float64 {
+	const floor = 1e-3 // bits/s; anything below is "off"
+	if predicted < floor {
+		predicted = floor
+	}
+	if realized < floor {
+		realized = floor
+	}
+	return 10 * math.Log10(realized/predicted)
+}
+
+// Rebase records the gap observed immediately after a fresh allocation
+// as the new baseline.
+func (d *Detector) Rebase(predicted, realized float64) {
+	d.baseline = gapDB(predicted, realized)
+	d.primed = true
+}
+
+// Excursion returns the current deviation (dB, ≥ 0) from the baseline.
+func (d *Detector) Excursion(predicted, realized float64) float64 {
+	if !d.primed {
+		return math.Inf(1) // no allocation yet: always re-allocate
+	}
+	return math.Abs(gapDB(predicted, realized) - d.baseline)
+}
+
+// Drifted reports whether the excursion crosses the threshold.
+func (d *Detector) Drifted(predicted, realized float64) bool {
+	return d.Excursion(predicted, realized) > d.ThresholdDB
+}
+
+// NullResidualDB is the nullspace certificate: the leakage of a cached
+// nulling precoder evaluated against FRESH cross-channel CSI, as
+// Σ‖H_k·W_k‖²_F / Σ‖H_k‖²_F in dB. A precoder computed on the same CSI
+// nulls to numerical precision (≈ −300 dB); as the channel drifts the
+// residual climbs. While it stays below the revocation threshold the
+// cached plan still effectively protects the other client and the
+// incremental path may reuse it; above, the certificate is revoked and
+// the pair must renegotiate precoders from scratch.
+func NullResidualDB(cross *channel.Link, p *precoding.Precoder) float64 {
+	var leak, tot float64
+	for k, h := range cross.Subcarriers {
+		w := p.PerSubcarrier[k]
+		for r := 0; r < h.Rows; r++ {
+			for c := 0; c < w.Cols; c++ {
+				var acc complex128
+				for t := 0; t < h.Cols; t++ {
+					acc += h.Data[r*h.Cols+t] * w.Data[t*w.Cols+c]
+				}
+				leak += real(acc)*real(acc) + imag(acc)*imag(acc)
+			}
+		}
+		tot += frobSq(h)
+	}
+	if tot <= 0 {
+		return math.Inf(-1)
+	}
+	if leak <= 0 {
+		return -300
+	}
+	return 10 * math.Log10(leak/tot)
+}
+
+func frobSq(m *linalg.Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package drift
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"copa/internal/rng"
+)
+
+// EventKind classifies a timeline event.
+type EventKind int
+
+const (
+	// EventReassoc: a client departs and a new association appears —
+	// both links toward that client are redrawn and the pair must
+	// re-negotiate from fresh CSI.
+	EventReassoc EventKind = iota
+	// EventAPChurn: an AP restarts (power cycle, channel switch). No
+	// physical channel changes, but every cached plan, CSI frame and
+	// session on that AP is invalidated.
+	EventAPChurn
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventReassoc:
+		return "reassoc"
+	case EventAPChurn:
+		return "ap-churn"
+	}
+	return "unknown"
+}
+
+// Event is one discrete occurrence on the timeline.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Node is the client index for EventReassoc, the AP index for
+	// EventAPChurn.
+	Node int
+}
+
+// Timeline is a deterministic, time-sorted event sequence: the same
+// (seed, duration, rates) always yields the identical sequence, which
+// the CI drift-smoke job asserts across two independent runs.
+type Timeline struct {
+	Events []Event
+}
+
+// NewTimeline draws a Poisson event timeline: client re-associations at
+// reassocPerSec per client and AP churn at churnPerSec per AP, gaps
+// drawn as independent exponentials from stateless per-(kind, node)
+// streams. A rate ≤ 0 disables that process entirely (zero draws, so a
+// rate-0 timeline is empty no matter the duration).
+func NewTimeline(seed int64, duration time.Duration, reassocPerSec, churnPerSec float64) Timeline {
+	var tl Timeline
+	draw := func(kind EventKind, node int, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		src := rng.NewSub(seed, pathEvents, uint64(kind), uint64(node))
+		t := time.Duration(0)
+		for {
+			gap := -math.Log(1-src.Float64()) / rate
+			t += time.Duration(gap * float64(time.Second))
+			if t >= duration {
+				return
+			}
+			tl.Events = append(tl.Events, Event{At: t, Kind: kind, Node: node})
+		}
+	}
+	for n := 0; n < 2; n++ {
+		draw(EventReassoc, n, reassocPerSec)
+		draw(EventAPChurn, n, churnPerSec)
+	}
+	sort.SliceStable(tl.Events, func(a, b int) bool {
+		ea, eb := tl.Events[a], tl.Events[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		return ea.Node < eb.Node
+	})
+	return tl
+}
+
+// Due returns the events with At in (after, upTo] — the ones a control
+// tick moving time from `after` to `upTo` must apply.
+func (tl Timeline) Due(after, upTo time.Duration) []Event {
+	lo := sort.Search(len(tl.Events), func(i int) bool { return tl.Events[i].At > after })
+	hi := sort.Search(len(tl.Events), func(i int) bool { return tl.Events[i].At > upTo })
+	return tl.Events[lo:hi]
+}

@@ -1,0 +1,21 @@
+package drift
+
+import "copa/internal/obs"
+
+var (
+	// mFullExchanges counts full ITS renegotiations (including each
+	// controller's initial exchange).
+	mFullExchanges = obs.C("copa.drift.full_exchanges")
+	// mIncremental counts warm-started in-place re-allocations.
+	mIncremental = obs.C("copa.drift.incremental_reallocs")
+	// mCertRevocations counts nullspace-certificate revocations.
+	mCertRevocations = obs.C("copa.drift.cert_revocations")
+	// mDriftTriggers counts detector threshold crossings.
+	mDriftTriggers = obs.C("copa.drift.detector_triggers")
+	// mEvents counts applied timeline events.
+	mEvents = obs.C("copa.drift.events")
+	// mCSIBytes / mDeltaBytes are the wire sizes of full and delta CSI
+	// frames.
+	mCSIBytes   = obs.H("copa.drift.full_csi_bytes", obs.LinearBuckets(0, 256, 17))
+	mDeltaBytes = obs.H("copa.drift.delta_csi_bytes", obs.LinearBuckets(0, 256, 17))
+)

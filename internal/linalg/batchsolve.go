@@ -1,0 +1,167 @@
+package linalg
+
+import "math/cmplx"
+
+// This file implements the batched SolveWS follow-up named in DESIGN
+// §13: the MMSE SINR kernels solve one small (Nr×Nr) system per
+// (subcarrier, stream) cell, thousands per evaluation, and the per-call
+// overhead of the scalar path (workspace carves, permutation slices,
+// dimension dispatch) dominates the arithmetic for Nr ≤ 4. SolveBatch
+// gathers all of a pass's systems into one struct-of-arrays batch and
+// solves them in a single sweep with the N-dependent dispatch hoisted
+// out of the loop.
+//
+// The N ≤ 4 kernel replays luWS + SolveWS's exact operation sequence —
+// the same partial-pivot comparison on cmplx.Abs, the same
+// f = a·(1/pivot) reciprocal-multiply, the same forward/back
+// substitution expressions — on fixed-size stack arrays, so each slot's
+// solution is bit-identical to what the scalar path returns for the
+// same system (batchsolve_test.go enforces this; the CI
+// kernel-equivalence matrix runs it under GOAMD64=v1 and v3).
+
+// SolveBatch is a struct-of-arrays batch of Count N×N linear systems
+// A_k·x_k = b_k: entry (i,j) of system k lives at A[(i*N+j)*Count+k],
+// and entry i of b_k (x_k) at B[i*Count+k] (X[i*Count+k]).
+type SolveBatch struct {
+	N, Count int
+	A        []complex128
+	B        []complex128
+	X        []complex128
+	// Singular[k] reports slot k's system was (numerically) singular —
+	// the batch analogue of SolveWS returning ErrSingular. X entries of
+	// a singular slot are zero.
+	Singular []bool
+}
+
+// NewSolveBatch carves a zeroed N×N×Count solve batch from the arena.
+func (w *Workspace) NewSolveBatch(n, count int) SolveBatch {
+	return SolveBatch{
+		N:        n,
+		Count:    count,
+		A:        w.Complex(n * n * count),
+		B:        w.Complex(n * count),
+		X:        w.Complex(n * count),
+		Singular: w.Bools(count),
+	}
+}
+
+// SetA stores entry (i,j) of system k.
+func (b *SolveBatch) SetA(k, i, j int, v complex128) { b.A[(i*b.N+j)*b.Count+k] = v }
+
+// SetB stores entry i of system k's right-hand side.
+func (b *SolveBatch) SetB(k, i int, v complex128) { b.B[i*b.Count+k] = v }
+
+// XAt returns entry i of system k's solution.
+func (b *SolveBatch) XAt(k, i int) complex128 { return b.X[i*b.Count+k] }
+
+// Solve solves every system in the batch. N ≤ 4 runs the in-register
+// LU kernel (bit-identical to SolveWS per slot); larger N falls back to
+// the scalar path per slot, carving its scratch from ws.
+func (b *SolveBatch) Solve(ws *Workspace) {
+	if b.N <= 4 {
+		b.solveSmall()
+		return
+	}
+	b.solveGeneric(ws)
+}
+
+// solveSmall is the N ≤ 4 kernel: per slot, gather the system into
+// fixed-size stack arrays, run the partial-pivot LU and the two
+// substitutions with luWS's exact operation order, and scatter the
+// solution back.
+func (b *SolveBatch) solveSmall() {
+	n, cnt := b.N, b.Count
+	for k := 0; k < cnt; k++ {
+		var a [16]complex128
+		var rhs, x [4]complex128
+		var perm [4]int
+		for i := 0; i < n; i++ {
+			perm[i] = i
+			rhs[i] = b.B[i*cnt+k]
+			for j := 0; j < n; j++ {
+				a[i*n+j] = b.A[(i*n+j)*cnt+k]
+			}
+		}
+		singular := false
+		for col := 0; col < n; col++ {
+			pivot, pmag := col, cmplx.Abs(a[col*n+col])
+			for r := col + 1; r < n; r++ {
+				if mag := cmplx.Abs(a[r*n+col]); mag > pmag {
+					pivot, pmag = r, mag
+				}
+			}
+			if pmag == 0 {
+				singular = true
+				break
+			}
+			if pivot != col {
+				for c := 0; c < n; c++ {
+					a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+				}
+				perm[col], perm[pivot] = perm[pivot], perm[col]
+			}
+			inv := 1 / a[col*n+col]
+			for r := col + 1; r < n; r++ {
+				f := a[r*n+col] * inv
+				a[r*n+col] = f
+				for c := col + 1; c < n; c++ {
+					a[r*n+c] -= f * a[col*n+c]
+				}
+			}
+		}
+		if singular {
+			b.Singular[k] = true
+			for i := 0; i < n; i++ {
+				b.X[i*cnt+k] = 0
+			}
+			continue
+		}
+		b.Singular[k] = false
+		for i := 0; i < n; i++ {
+			s := rhs[perm[i]]
+			for j := 0; j < i; j++ {
+				s -= a[i*n+j] * x[j]
+			}
+			x[i] = s
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := x[i]
+			for j := i + 1; j < n; j++ {
+				s -= a[i*n+j] * x[j]
+			}
+			x[i] = s / a[i*n+i]
+		}
+		for i := 0; i < n; i++ {
+			b.X[i*cnt+k] = x[i]
+		}
+	}
+}
+
+// solveGeneric is the N > 4 fallback: one scalar SolveWS per slot, via
+// a gathered workspace matrix. It exists so SolveBatch has no dimension
+// ceiling; the hot MMSE paths never reach it (client Nr ≤ 4).
+func (b *SolveBatch) solveGeneric(ws *Workspace) {
+	n, cnt := b.N, b.Count
+	m := ws.Matrix(n, n)
+	rhs := ws.Complex(n)
+	for k := 0; k < cnt; k++ {
+		for i := 0; i < n; i++ {
+			rhs[i] = b.B[i*cnt+k]
+			for j := 0; j < n; j++ {
+				m.Data[i*n+j] = b.A[(i*n+j)*cnt+k]
+			}
+		}
+		x, err := m.SolveWS(ws, rhs)
+		if err != nil {
+			b.Singular[k] = true
+			for i := 0; i < n; i++ {
+				b.X[i*cnt+k] = 0
+			}
+			continue
+		}
+		b.Singular[k] = false
+		for i := 0; i < n; i++ {
+			b.X[i*cnt+k] = x[i]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kernelEquivTol is the documented kernel-equivalence bound (DESIGN §13)
+// the batched solver must hold against the scalar SolveWS reference.
+// The N ≤ 4 kernel is additionally held to bit-identity — it replays
+// luWS's exact operation order.
+const kernelEquivTol = 1e-6
+
+// randomSolveBatch fills a batch (and parallel scalar inputs) with
+// well-conditioned random systems; slot `sing` (when ≥ 0) is made
+// exactly singular.
+func randomSolveBatch(ws *Workspace, r *rand.Rand, n, count, sing int) (SolveBatch, []*Matrix, [][]complex128) {
+	b := ws.NewSolveBatch(n, count)
+	ms := make([]*Matrix, count)
+	bs := make([][]complex128, count)
+	for k := 0; k < count; k++ {
+		m := NewMatrix(n, n)
+		rhs := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			rhs[i] = complex(r.NormFloat64(), r.NormFloat64())
+			for j := 0; j < n; j++ {
+				v := complex(r.NormFloat64(), r.NormFloat64())
+				if i == j {
+					// Diagonal dominance keeps every slot well-conditioned.
+					v += complex(float64(2*n), 0)
+				}
+				m.Set(i, j, v)
+			}
+		}
+		if k == sing {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					m.Set(i, j, 0)
+				}
+			}
+		}
+		ms[k], bs[k] = m, rhs
+		for i := 0; i < n; i++ {
+			b.SetB(k, i, rhs[i])
+			for j := 0; j < n; j++ {
+				b.SetA(k, i, j, m.At(i, j))
+			}
+		}
+	}
+	return b, ms, bs
+}
+
+// TestSolveBatchMatchesScalar checks every batch slot against a private
+// scalar SolveWS run: bit-identical for the N ≤ 4 in-register kernel,
+// kernelEquivTol for the generic fallback.
+func TestSolveBatchMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		const count = 37
+		var ws Workspace
+		sing := count / 2
+		b, ms, bs := randomSolveBatch(&ws, r, n, count, sing)
+		b.Solve(&ws)
+		for k := 0; k < count; k++ {
+			var sws Workspace
+			x, err := ms[k].SolveWS(&sws, bs[k])
+			if k == sing {
+				if err == nil {
+					t.Fatalf("n=%d: scalar path solved the singular slot", n)
+				}
+				if !b.Singular[k] {
+					t.Errorf("n=%d slot %d: batch missed the singular system", n, k)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("n=%d slot %d: scalar SolveWS: %v", n, k, err)
+			}
+			if b.Singular[k] {
+				t.Errorf("n=%d slot %d: batch flagged a solvable system singular", n, k)
+				continue
+			}
+			for i := 0; i < n; i++ {
+				got, want := b.XAt(k, i), x[i]
+				if n <= 4 {
+					if got != want {
+						t.Errorf("n=%d slot %d x[%d]: batch %v != scalar %v (bit-identity)", n, k, i, got, want)
+					}
+					continue
+				}
+				if d := cabs(got - want); d > kernelEquivTol {
+					t.Errorf("n=%d slot %d x[%d]: |batch-scalar| = %g > %g", n, k, i, d, kernelEquivTol)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchSingularSlotIsolated: a singular slot must not disturb
+// its neighbours (the whole point of per-slot Singular flags).
+func TestSolveBatchSingularSlotIsolated(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var ws Workspace
+	b, ms, bs := randomSolveBatch(&ws, r, 3, 8, 3)
+	b.Solve(&ws)
+	for k := 0; k < 8; k++ {
+		if k == 3 {
+			continue
+		}
+		var sws Workspace
+		x, err := ms[k].SolveWS(&sws, bs[k])
+		if err != nil {
+			t.Fatalf("slot %d: %v", k, err)
+		}
+		for i := 0; i < 3; i++ {
+			if b.XAt(k, i) != x[i] {
+				t.Fatalf("slot %d drifted from scalar after singular neighbour", k)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if b.XAt(3, i) != 0 {
+			t.Errorf("singular slot x[%d] = %v, want 0", i, b.XAt(3, i))
+		}
+	}
+}
+
+func cabs(v complex128) float64 {
+	re, im := real(v), imag(v)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re
+	}
+	return im
+}

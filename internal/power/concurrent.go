@@ -48,6 +48,35 @@ type Config struct {
 	// caller must not hold workspace-carved values across Sequential or
 	// Concurrent. Leave nil to use a private arena per call.
 	Scratch *precoding.Workspace
+
+	// Warm, when set, seeds the Jacobi iteration from a previous
+	// Result's power grids instead of the equal-split cold start — the
+	// incremental re-allocation hook (internal/drift): on a channel that
+	// has barely drifted the previous epoch's solution is already near
+	// the fixed point and the iteration settles in one or two sweeps.
+	// Ignored unless the shape (sender count, subcarriers, streams)
+	// matches. The iteration still snapshots the best state seen, so a
+	// stale warm start can slow convergence but never worsen the result
+	// below the first re-allocated sweep.
+	Warm *Result
+	// WarmDrops[i][s], when non-nil, is sender i stream s's previous
+	// Allocation.Dropped; the per-stream inner solves then run the
+	// warm-started Equi-SNR scan (EquiSNRWarmWS — bit-identical results,
+	// cheaper scan). Entries < 0 mean "no hint" for that stream. The
+	// entries are refreshed in place after every Jacobi sweep, so a
+	// caller that keeps the slice across epochs hands the next solve
+	// up-to-date hints for free. Only consulted when Inner is nil.
+	WarmDrops [][]int
+	// Patience, when > 0, stops the Jacobi iteration after this many
+	// consecutive sweeps without a strictly better best-so-far
+	// allocation. The best-response dynamics track their best state and
+	// typically peak within the first sweeps before oscillating (the
+	// discrete Equi-SNR drop levels cycle rather than contract), so a
+	// small patience keeps the result on instances whose best arrives
+	// late while skipping the dead tail everywhere else — the drift
+	// controller's incremental re-allocation runs with Patience 2.
+	// Zero (the default) always runs MaxIters sweeps.
+	Patience int
 }
 
 // DefaultConfig returns the standard COPA allocation configuration.
@@ -117,6 +146,22 @@ func newPowerGrid(nSC, streams int) [][]float64 {
 	return grid
 }
 
+// warmCopy copies a previous solve's power grid into dst, reporting
+// false (dst untouched beyond rows already copied) on any shape
+// mismatch.
+func warmCopy(dst, src [][]float64) bool {
+	if len(src) != len(dst) {
+		return false
+	}
+	for k := range dst {
+		if len(src[k]) != len(dst[k]) {
+			return false
+		}
+		copy(dst[k], src[k])
+	}
+	return true
+}
+
 func iterate(senders []SenderCSI, cfg Config) *Result {
 	timing := mAllocSeconds.Begin()
 	n := len(senders)
@@ -136,19 +181,57 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 	tx := make([]*precoding.Transmission, n)
 	cur := make([][][]float64, n)
 	next := make([][][]float64, n)
+	warm := cfg.Warm
+	if warm != nil && len(warm.Tx) != n {
+		warm = nil
+	}
 	for i, s := range senders {
 		streams := s.Precoder.Streams
 		cur[i] = newPowerGrid(nSC, streams)
 		next[i] = newPowerGrid(nSC, streams)
-		// Equal split start (the paper's assumption about the other
-		// sender's initial behaviour); same arithmetic as EqualSplit.
-		per := s.BudgetMW / float64(nSC*streams)
-		for _, row := range cur[i] {
-			for st := range row {
-				row[st] = per
+		if warm != nil && !warmCopy(cur[i], warm.Tx[i].PowerMW) {
+			warm = nil // shape mismatch: fall back to the cold start for all
+		}
+		if warm == nil {
+			// Equal split start (the paper's assumption about the other
+			// sender's initial behaviour); same arithmetic as EqualSplit.
+			per := s.BudgetMW / float64(nSC*streams)
+			for _, row := range cur[i] {
+				for st := range row {
+					row[st] = per
+				}
 			}
 		}
 		tx[i] = precoding.NewTransmission(s.Precoder, cur[i], cfg.Impairments)
+	}
+	if warm == nil && cfg.Warm != nil {
+		// A partially-copied warm start would be neither the previous
+		// solution nor equal split; re-seed every sender cold.
+		for i, s := range senders {
+			per := s.BudgetMW / float64(nSC*s.Precoder.Streams)
+			for _, row := range cur[i] {
+				for st := range row {
+					row[st] = per
+				}
+			}
+			tx[i] = precoding.NewTransmission(s.Precoder, cur[i], cfg.Impairments)
+		}
+	}
+	// warmHint returns the per-(sender, stream) drop hint for the
+	// warm-started inner scan, or -1 (no hint) when none was provided.
+	// hints are refreshed each Jacobi sweep from the sweep's own results.
+	hints := cfg.WarmDrops
+	warmHint := func(i, st int) int {
+		if hints == nil || i >= len(hints) || st >= len(hints[i]) {
+			return -1
+		}
+		return hints[i][st]
+	}
+	setHint := func(i, st, d int) {
+		if hints == nil || i >= len(hints) || st >= len(hints[i]) {
+			return
+		}
+		hints[i][st] = d
 	}
 
 	crossFor := func(i int) (*channel.Link, *precoding.Transmission) {
@@ -176,13 +259,14 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 	}
 
 	best := &Result{}
-	snapshot := func(iter int, converged bool) {
+	snapshot := func(iter int, converged bool) (improved bool) {
 		rates, goodput := evaluate()
 		var agg float64
 		for _, g := range goodput {
 			agg += g
 		}
 		if best.Tx == nil || agg > best.Aggregate() {
+			improved = true
 			cp := make([]*precoding.Transmission, n)
 			for i := range tx {
 				powers := make([][]float64, nSC)
@@ -197,8 +281,10 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 		}
 		best.Iterations = iter
 		best.Converged = converged
+		return improved
 	}
 	snapshot(0, false)
+	sinceBest := 0
 
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
 		// Everything carved last iteration (coefs, SINR scratch, inner
@@ -232,10 +318,14 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 						col[k] = coefs[k][st]
 					}
 					var alloc Allocation
-					if cfg.Inner == nil {
-						alloc = EquiSNRWS(&ws.Workspace, col, perStream)
-					} else {
+					switch {
+					case cfg.Inner != nil:
 						alloc = cfg.Inner(col, perStream)
+					case warmHint(i, st) >= 0:
+						alloc = EquiSNRWarmWS(&ws.Workspace, col, perStream, warmHint(i, st))
+						setHint(i, st, alloc.Dropped)
+					default:
+						alloc = EquiSNRWS(&ws.Workspace, col, perStream)
 					}
 					for k := range np {
 						np[k][st] = alloc.PowerMW[k]
@@ -251,8 +341,15 @@ func iterate(senders []SenderCSI, cfg Config) *Result {
 			tx[i] = precoding.NewTransmission(senders[i].Precoder, cur[i], cfg.Impairments)
 		}
 		converged := maxDelta < 1e-9*senders[0].BudgetMW
-		snapshot(iter, converged)
+		if snapshot(iter, converged) {
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
 		if converged {
+			break
+		}
+		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
 			break
 		}
 	}

@@ -8,6 +8,9 @@ var (
 	// mEquiSNRCalls counts Algorithm 1 invocations (one per stream per
 	// Equi-SINR iteration).
 	mEquiSNRCalls = obs.C("copa.power.equisnr_calls")
+	// mEquiSNRWarmCalls counts the warm-started subset of Equi-SNR
+	// invocations (the drift controller's incremental re-allocations).
+	mEquiSNRWarmCalls = obs.C("copa.power.equisnr_warm_calls")
 	// mDropCount is the distribution of dropped subcarriers per
 	// Equi-SNR allocation (0..NumSubcarriers).
 	mDropCount = obs.H("copa.power.drop_count", obs.LinearBuckets(0, 4, 14))

@@ -1,0 +1,145 @@
+package power
+
+import (
+	"copa/internal/linalg"
+	"copa/internal/ofdm"
+)
+
+// Warm-started Equi-SNR: the online re-allocation loop (internal/drift)
+// re-solves the same stream against a channel that has barely moved, so
+// the previous epoch's winning drop count is an excellent incumbent.
+// EquiSNRWarmWS seeds the drop-count search with it, which lets the
+// goodput-ceiling prune reject most of the scan immediately — while
+// provably returning the exact allocation the cold solve would.
+//
+// Equivalence argument (enforced bit-for-bit by warm_test.go): the cold
+// scan visits drop counts ascending and keeps the first candidate
+// achieving the maximum goodput (strict > update), i.e. the smallest
+// such drop. The warm scan seeds the incumbent with the hinted
+// candidate, then visits the same ascending order under a tie-aware
+// update (accept when strictly better, or equal goodput at a smaller
+// drop) and a refined prune (stop when the rate ceiling falls below the
+// incumbent, or ties it once no smaller drop remains reachable). Both
+// therefore select the smallest drop count achieving the maximum, and
+// every candidate's power vector is a pure function of (coef, budget,
+// drop) — so the returned allocation is bit-identical.
+
+// EquiSNRWarmWS is EquiSNRWS warm-started from warmDrop, a previous
+// solve's Allocation.Dropped for the same stream. Any hint value (in or
+// out of range) yields the identical allocation; a good hint only makes
+// the scan cheaper. Scratch and the returned power vector are carved
+// from ws, exactly like EquiSNRWS.
+func EquiSNRWarmWS(ws *linalg.Workspace, coef []float64, budgetMW float64, warmDrop int) Allocation {
+	mEquiSNRCalls.Inc()
+	mEquiSNRWarmCalls.Inc()
+	n := len(coef)
+	order := ws.Ints(n)
+	for i := range order {
+		order[i] = i
+	}
+	linalg.SortOrderAsc(order, coef)
+
+	best := Allocation{PowerMW: ws.Float64s(n)}
+	powers := ws.Float64s(n)
+	sinrs := ws.Float64s(n)
+
+	// candidate equalizes SINR at drop count d and returns its rate and
+	// usable-subcarrier count (usable 0 means no candidate). Identical
+	// arithmetic to the cold scan's loop body.
+	candidate := func(d int) (ofdm.StreamRate, int) {
+		var invSum float64
+		usable := 0
+		for _, k := range order[d:] {
+			if coef[k] > 0 {
+				invSum += 1 / coef[k]
+				usable++
+			}
+		}
+		if usable == 0 {
+			return ofdm.StreamRate{}, 0
+		}
+		target := budgetMW / invSum
+		clear(powers)
+		for _, k := range order[d:] {
+			if coef[k] > 0 {
+				powers[k] = target / coef[k]
+			}
+		}
+		predictedSINRsInto(sinrs, powers, coef)
+		return ofdm.BestRate(sinrs), usable
+	}
+
+	// bestDrop is the drop index that produced the incumbent; n is the
+	// "no incumbent" sentinel (nothing can tie-beat it).
+	bestDrop := n
+	take := func(d int, rate ofdm.StreamRate, usable int) {
+		copy(best.PowerMW, powers)
+		best.Rate = rate
+		best.Dropped = n - usable
+		bestDrop = d
+	}
+	if warmDrop >= 0 && warmDrop < n {
+		if rate, usable := candidate(warmDrop); usable > 0 && rate.GoodputBps > 0 {
+			take(warmDrop, rate, usable)
+		}
+	}
+	for drop := 0; drop < n; drop++ {
+		if drop == bestDrop {
+			continue // the incumbent itself; re-evaluating cannot change it
+		}
+		var invSum float64
+		usable := 0
+		for _, k := range order[drop:] {
+			if coef[k] > 0 {
+				invSum += 1 / coef[k]
+				usable++
+			}
+		}
+		if usable == 0 {
+			continue
+		}
+		// Prune: the zero-FER ceiling bounds this and every later drop
+		// count (usable is non-increasing in drop). Below the incumbent
+		// nothing can win; at the incumbent's exact goodput only a
+		// smaller drop could, so once the scan passes bestDrop a tie is
+		// unreachable too.
+		ceiling := ofdm.StreamGoodputCeiling(usable)
+		if ceiling < best.Rate.GoodputBps {
+			break
+		}
+		if bestDrop < n && ceiling == best.Rate.GoodputBps && drop >= bestDrop {
+			break
+		}
+		if bestDrop == n && ceiling <= 0 {
+			break
+		}
+		target := budgetMW / invSum
+		clear(powers)
+		for _, k := range order[drop:] {
+			if coef[k] > 0 {
+				powers[k] = target / coef[k]
+			}
+		}
+		predictedSINRsInto(sinrs, powers, coef)
+		rate := ofdm.BestRate(sinrs)
+		if rate.GoodputBps > best.Rate.GoodputBps ||
+			(bestDrop < n && rate.GoodputBps == best.Rate.GoodputBps && drop < bestDrop) {
+			take(drop, rate, usable)
+		}
+	}
+	if best.Rate.GoodputBps == 0 {
+		// Nothing decodable at any drop count: same equal-split fallback
+		// as the cold solve.
+		mDropCount.ObserveInt(0)
+		per := budgetMW / float64(n)
+		for k := range best.PowerMW {
+			best.PowerMW[k] = per
+		}
+		predictedSINRsInto(sinrs, best.PowerMW, coef)
+		best.Rate = ofdm.BestRate(sinrs)
+		best.Dropped = 0
+		return best
+	}
+	mDropCount.ObserveInt(best.Dropped)
+	return best
+}

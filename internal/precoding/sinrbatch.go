@@ -1,0 +1,71 @@
+package precoding
+
+import (
+	"copa/internal/channel"
+)
+
+// StreamSINRsBatchWS is StreamSINRsWS with the per-(subcarrier, stream)
+// MMSE solves gathered into one linalg.SolveBatch sweep instead of one
+// scalar SolveWS call per cell. It exists for the paths that probe
+// realized SINRs over and over on a fixed topology — the drift
+// controller runs this against the true channel every tick — where the
+// scalar path's per-call dispatch is pure overhead. Results are
+// bit-identical to StreamSINRsWS for Nr ≤ 4 (the batch kernel replays
+// the scalar operation order; see sinrbatch_test.go) and within the
+// documented kernelEquivTol beyond.
+func StreamSINRsBatchWS(ws *Workspace, own *channel.Link, ownTx *Transmission, cross *channel.Link, crossTx *Transmission, noisePerSCMW float64) [][]float64 {
+	nSC := len(own.Subcarriers)
+	streams := ownTx.Precoder.Streams
+	nr := own.Subcarriers[0].Rows
+	out := ws.FloatRows(nSC, streams)
+	batch := ws.NewSolveBatch(nr, nSC*streams)
+	live := ws.Bools(nSC * streams)
+	for k := 0; k < nSC; k++ {
+		h := own.Subcarriers[k]
+		r, a := interferenceCovariance(ws, h, ownTx, cross, crossTx, noisePerSCMW, k)
+		for s := 0; s < streams; s++ {
+			if ownTx.PowerMW[k][s] <= 0 {
+				out[k][s] = Dropped
+				continue
+			}
+			slot := k*streams + s
+			live[slot] = true
+			ai := ws.Col(a, s)
+			// Qᵢ = R − aᵢaᵢᴴ gathered straight into the batch; aᵢ is the
+			// right-hand side, so the batch's B doubles as the stored aᵢ
+			// for the closing dot product.
+			for ri := 0; ri < nr; ri++ {
+				batch.SetB(slot, ri, ai[ri])
+				for ci := 0; ci < nr; ci++ {
+					batch.SetA(slot, ri, ci, r.At(ri, ci)-ai[ri]*conj(ai[ci]))
+				}
+			}
+		}
+	}
+	batch.Solve(&ws.Workspace)
+	cnt := batch.Count
+	for k := 0; k < nSC; k++ {
+		for s := 0; s < streams; s++ {
+			slot := k*streams + s
+			if !live[slot] {
+				continue
+			}
+			if batch.Singular[slot] {
+				out[k][s] = Dropped
+				continue
+			}
+			// real(Dot(aᵢ, x)) in Dot's accumulation order, over the
+			// batch's strided storage.
+			var acc complex128
+			for i := 0; i < nr; i++ {
+				acc += conj(batch.B[i*cnt+slot]) * batch.X[i*cnt+slot]
+			}
+			sinr := real(acc)
+			if sinr < 0 {
+				sinr = 0
+			}
+			out[k][s] = sinr
+		}
+	}
+	return out
+}

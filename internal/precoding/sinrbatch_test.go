@@ -1,0 +1,76 @@
+package precoding
+
+import (
+	"fmt"
+	"testing"
+
+	"copa/internal/channel"
+	"copa/internal/rng"
+)
+
+// sinrTestTx builds a transmission over a fresh random link: a
+// beamforming precoder with an equal-split power grid, with subcarrier
+// dropIdx's power zeroed (when ≥ 0) to exercise the Dropped path.
+func sinrTestTx(t *testing.T, seed int64, nRx, nTx, streams, dropIdx int) (*channel.Link, *Transmission) {
+	t.Helper()
+	csi := channel.NewLink(rng.New(seed), nRx, nTx, channel.DBToLinear(-50))
+	var ws Workspace
+	p, err := BeamformingInto(&ws, nil, csi, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSC := len(csi.Subcarriers)
+	powers := make([][]float64, nSC)
+	per := channel.DBmToMilliwatts(channel.MaxTxPowerDBm) / float64(nSC*streams)
+	for k := range powers {
+		powers[k] = make([]float64, streams)
+		for s := range powers[k] {
+			if k != dropIdx {
+				powers[k][s] = per
+			}
+		}
+	}
+	return csi, NewTransmission(p, powers, channel.DefaultImpairments())
+}
+
+// TestStreamSINRsBatchMatchesScalar holds the batched SINR probe to
+// bit-identity against StreamSINRsWS (Nr ≤ 4, so the in-register solve
+// kernel replays the scalar operation order exactly), with and without
+// cross interference, including dropped cells.
+func TestStreamSINRsBatchMatchesScalar(t *testing.T) {
+	noise := channel.NoisePerSubcarrierMW()
+	cases := []struct {
+		nRx, nTx, streams int
+		cross             bool
+	}{
+		{1, 1, 1, false},
+		{2, 2, 1, false},
+		{2, 2, 2, false},
+		{2, 4, 2, true},
+		{2, 3, 2, true},
+		{4, 4, 4, false},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dx%d_s%d_cross=%t", tc.nRx, tc.nTx, tc.streams, tc.cross), func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				own, ownTx := sinrTestTx(t, 300+seed, tc.nRx, tc.nTx, tc.streams, 7)
+				var cross *channel.Link
+				var crossTx *Transmission
+				if tc.cross {
+					cross, crossTx = sinrTestTx(t, 400+seed, tc.nRx, tc.nTx, tc.streams, -1)
+				}
+				var wsB, wsS Workspace
+				batched := StreamSINRsBatchWS(&wsB, own, ownTx, cross, crossTx, noise)
+				scalar := StreamSINRsWS(&wsS, own, ownTx, cross, crossTx, noise)
+				for k := range scalar {
+					for s := range scalar[k] {
+						if batched[k][s] != scalar[k][s] {
+							t.Fatalf("seed %d sc %d stream %d: batched %v != scalar %v",
+								seed, k, s, batched[k][s], scalar[k][s])
+						}
+					}
+				}
+			}
+		})
+	}
+}

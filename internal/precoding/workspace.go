@@ -226,11 +226,25 @@ func BeamformingInto(ws *Workspace, dst *Precoder, csi *channel.Link, streams in
 		canonicalize(pc)
 		dst.PerSubcarrier[k] = storeMatrix(dst.PerSubcarrier[k], pc)
 	}
-	for _, k := range fallback[:nFall] {
+	for _, k := range snapshotFallback(fallback[:nFall]) {
 		ws.Reset()
 		beamformSubcarrierScalar(ws, dst, csi, streams, k)
 	}
 	return dst, nil
+}
+
+// snapshotFallback copies a ws-carved fallback index list to the heap.
+// The scalar fallback loop resets the workspace per subcarrier, which
+// would let the scalar kernels' own carves reuse — and clear — the
+// chunk backing the list while it is still being ranged over, silently
+// skipping every fallback subcarrier after the first. The fallback path
+// is rare (near-tied singular values), so the copy is off the hot path;
+// nil when empty keeps the common all-certified case allocation-free.
+func snapshotFallback(fallback []int) []int {
+	if len(fallback) == 0 {
+		return nil
+	}
+	return append([]int(nil), fallback...)
 }
 
 // BeamformingIntoScalar is the per-subcarrier scalar reference path of
@@ -342,7 +356,7 @@ func NullingInto(ws *Workspace, dst *Precoder, own, cross *channel.Link, streams
 		}
 	}
 
-	for _, k := range fallback[:nFall] {
+	for _, k := range snapshotFallback(fallback[:nFall]) {
 		ws.Reset() // batch results are dead past this point; stores are heap-backed
 		if err := nullSubcarrierScalar(ws, dst, own, cross, streams, k); err != nil {
 			return nil, err

@@ -145,10 +145,21 @@ type Request struct {
 	// CSIAge is how old the requester's channel state is. Ages are
 	// quantized into AgeBuckets buckets per coherence time, so nearby
 	// ages share a cache entry; older buckets see proportionally more
-	// staleness error.
+	// staleness error. Ignored in session mode (Time supersedes it).
 	CSIAge time.Duration
 	// MultiDecoder evaluates with per-subcarrier rate selection.
 	MultiDecoder bool
+	// Session switches the request into long-running session mode: the
+	// CSI age is derived from the controller time Time instead of the
+	// static CSIAge flag. Each coherence interval is an epoch with its
+	// own CSI measurement (and its own cache identity); within an epoch
+	// the age since that measurement quantizes into the same AgeBuckets
+	// grid the static path uses, via the shared channel.AgeBucket helper
+	// internal/drift also keys its validity horizons on.
+	Session bool
+	// Time is the session's controller time (virtual time since the
+	// session began). Only meaningful when Session is set.
+	Time time.Duration
 }
 
 // Result is one served allocation decision. Results may be shared
@@ -162,6 +173,14 @@ type Result struct {
 	Outcomes map[strategy.Kind]strategy.Outcome
 	// AgeBucket is the CSI age bucket the request quantized into.
 	AgeBucket int
+	// Epoch is the session epoch (controller time / coherence) the
+	// allocation belongs to; always 0 for static requests.
+	Epoch int64
+	// ValidUntil is the controller time at which this allocation's age
+	// bucket — and therefore its cache identity — expires: the start of
+	// the next shared bucket boundary. For a static request it is the
+	// CSIAge at which the next bucket would begin.
+	ValidUntil time.Duration
 }
 
 // AgeBuckets is the number of CSI-age quantization steps per coherence
@@ -169,16 +188,12 @@ type Result struct {
 // bucket.
 const AgeBuckets = 4
 
-// ageBucket quantizes a CSI age against the coherence time.
+// ageBucket quantizes a CSI age against the coherence time. The
+// boundary arithmetic lives in channel.AgeBucket so internal/drift (which
+// derives allocation validity horizons from the same boundaries) can
+// never disagree with the cache key about where a bucket starts.
 func ageBucket(age, coherence time.Duration) int {
-	if age <= 0 || coherence <= 0 {
-		return 0
-	}
-	b := int(int64(AgeBuckets) * int64(age) / int64(coherence))
-	if b > AgeBuckets {
-		b = AgeBuckets
-	}
-	return b
+	return channel.AgeBucket(age, coherence, AgeBuckets)
 }
 
 // agedImpairments scales the staleness error with the request's CSI age
@@ -186,18 +201,20 @@ func ageBucket(age, coherence time.Duration) int {
 // coherence time (bucket 0); older buckets see linearly more aging
 // error power (channel.Impairments.Aged — the same map campaign sweeps).
 func agedImpairments(imp channel.Impairments, bucket int) channel.Impairments {
-	return imp.Aged(float64(bucket) / AgeBuckets)
+	return imp.AgedForBucket(bucket, AgeBuckets)
 }
 
 // key is the full result-cache identity of a request: everything that
-// changes the answer, with CSIAge already bucketed. It is a comparable
-// value type so cache lookups allocate nothing.
+// changes the answer, with the session time already normalized into
+// (epoch, ageBucket). It is a comparable value type so cache lookups
+// allocate nothing.
 type key struct {
 	scenario  channel.Scenario
 	seed      int64
 	mode      strategy.Mode
 	imp       channel.Impairments
 	ageBucket int
+	epoch     int64
 	multi     bool
 }
 
@@ -208,11 +225,12 @@ type evalKey struct {
 	seed      int64
 	imp       channel.Impairments
 	ageBucket int
+	epoch     int64
 	multi     bool
 }
 
 func (k key) eval() evalKey {
-	return evalKey{scenario: k.scenario, seed: k.seed, imp: k.imp, ageBucket: k.ageBucket, multi: k.multi}
+	return evalKey{scenario: k.scenario, seed: k.seed, imp: k.imp, ageBucket: k.ageBucket, epoch: k.epoch, multi: k.multi}
 }
 
 // flight is one in-flight computation identical concurrent requests
@@ -273,16 +291,52 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// keyFor normalizes a request into its cache key.
+// keyFor normalizes a request into its cache key. This is the only
+// place the (epoch, bucket) pair is computed — runGroup and
+// evaluateWorld read it back from the key, so one request can never see
+// two different bucketings of the same age (the pre-session bug was
+// exactly that: each stage re-derived the bucket from the raw age, and a
+// session time past one coherence would collapse every later epoch into
+// the final clamped bucket).
 func (s *Server) keyFor(req Request) key {
+	epoch, bucket := sessionEpoch(req, s.cfg.Coherence)
 	return key{
 		scenario:  req.Scenario,
 		seed:      req.Seed,
 		mode:      req.Mode,
 		imp:       req.Impairments,
-		ageBucket: ageBucket(req.CSIAge, s.cfg.Coherence),
+		ageBucket: bucket,
+		epoch:     epoch,
 		multi:     req.MultiDecoder,
 	}
+}
+
+// sessionEpoch resolves a request's (epoch, age bucket) pair. A static
+// request is epoch 0 with its CSIAge bucketed directly. A session
+// request treats each coherence interval as an epoch with a fresh CSI
+// measurement at its start: the age that buckets is the time elapsed
+// since that epoch's measurement, so the bucket is always in [0,
+// AgeBuckets) and an epoch can never straddle a bucket boundary.
+func sessionEpoch(req Request, coherence time.Duration) (int64, int) {
+	if !req.Session {
+		return 0, ageBucket(req.CSIAge, coherence)
+	}
+	t := req.Time
+	if t < 0 {
+		t = 0
+	}
+	if coherence <= 0 {
+		return 0, 0
+	}
+	epoch := int64(t / coherence)
+	return epoch, ageBucket(t-time.Duration(epoch)*coherence, coherence)
+}
+
+// validUntil is the controller time at which a session allocation's age
+// bucket expires: the next shared bucket boundary after Time (epoch
+// start + channel.BucketStart of the following bucket).
+func validUntil(epoch int64, bucket int, coherence time.Duration) time.Duration {
+	return time.Duration(epoch)*coherence + channel.BucketStart(bucket+1, coherence, AgeBuckets)
 }
 
 // Allocate serves one request: result cache first, then in-flight
@@ -503,7 +557,10 @@ func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
 	}
 	sample := mEvaluateSeconds.Begin()
 	ws.Reset()
-	outs, err := evaluateWorld(ws, live[0].req, s.cfg.Coherence)
+	// The (epoch, bucket) pair comes off the cache key — the single
+	// computation in keyFor — never re-derived from the raw age here.
+	bucket, epoch := live[0].key.ageBucket, live[0].key.epoch
+	outs, err := evaluateWorld(ws, live[0].req, bucket, epoch)
 	sample.End()
 	for _, c := range live {
 		c.stage.EndErr(err)
@@ -516,24 +573,30 @@ func (s *Server) runGroup(ws *precoding.Workspace, group []*call) {
 		}
 		return
 	}
-	bucket := ageBucket(live[0].req.CSIAge, s.cfg.Coherence)
+	// ValidUntil is derived from the key alone (not from whether the
+	// computing request was a session), so a cache entry shared between
+	// a session request at time t and a static request with the same
+	// (epoch, bucket) identity is byte-identical either way.
+	res := Result{AgeBucket: bucket, Epoch: epoch, ValidUntil: validUntil(epoch, bucket, s.cfg.Coherence)}
 	for _, c := range live {
-		s.finish(c, &Result{
-			Selected:  strategy.Select(c.req.Mode, outs),
-			Outcomes:  outs,
-			AgeBucket: bucket,
-		}, nil)
+		r := res
+		r.Selected = strategy.Select(c.req.Mode, outs)
+		r.Outcomes = outs
+		s.finish(c, &r, nil)
 	}
 }
 
 // evaluateWorld rebuilds the request's deterministic world — the same
 // seed-to-deployment contract cmd/copad uses — and runs every strategy
-// on it, carving all scratch from the worker's arena.
-func evaluateWorld(ws *precoding.Workspace, req Request, coherence time.Duration) (map[strategy.Kind]strategy.Outcome, error) {
-	imp := agedImpairments(req.Impairments, ageBucket(req.CSIAge, coherence))
+// on it, carving all scratch from the worker's arena. The CSI-noise
+// stream is salted with the session epoch: each epoch models a fresh
+// measurement of the same deployment, and epoch 0 draws the exact
+// stream the static path always has.
+func evaluateWorld(ws *precoding.Workspace, req Request, bucket int, epoch int64) (map[strategy.Kind]strategy.Outcome, error) {
+	imp := agedImpairments(req.Impairments, bucket)
 	src := rng.New(req.Seed)
 	dep := channel.NewDeployment(src.Split(1), req.Scenario)
-	ev := strategy.NewEvaluator(dep, imp, src.Split(2))
+	ev := strategy.NewEvaluator(dep, imp, src.Split(2+uint64(epoch)))
 	ev.MultiDecoder = req.MultiDecoder
 	ev.UseWorkspace(ws)
 	return ev.EvaluateAll()

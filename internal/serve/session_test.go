@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"copa/internal/channel"
+	"copa/internal/strategy"
+)
+
+// sessionReq is req1x1 in session mode at controller time t.
+func sessionReq(seed int64, t time.Duration) Request {
+	r := req1x1(seed, strategy.ModeMax)
+	r.Session = true
+	r.Time = t
+	return r
+}
+
+// TestSessionEpochNeverStraddlesBucket is the regression test for the
+// pre-session keying bug: bucket boundaries were re-derived from the raw
+// age at every stage, so any session time past one coherence clamped
+// into the final bucket and every later epoch collapsed onto one cache
+// key. The fix computes (epoch, bucket) once, in keyFor, from the
+// shared channel.AgeBucket helper.
+func TestSessionEpochNeverStraddlesBucket(t *testing.T) {
+	const coh = 100 * time.Millisecond
+	cfg := testConfig()
+	cfg.Coherence = coh
+	s := New(cfg)
+	defer s.Close()
+
+	for _, tc := range []struct {
+		at     time.Duration
+		epoch  int64
+		bucket int
+	}{
+		{0, 0, 0},
+		{24 * time.Millisecond, 0, 0},
+		{25 * time.Millisecond, 0, 1},
+		{99 * time.Millisecond, 0, 3},
+		{100 * time.Millisecond, 1, 0},   // epoch boundary: bucket resets
+		{105 * time.Millisecond, 1, 0},   // NOT the clamped last bucket
+		{199 * time.Millisecond, 1, 3},   // bucket never crosses into epoch 2
+		{1005 * time.Millisecond, 10, 0}, // deep epochs stay distinct
+	} {
+		k := s.keyFor(sessionReq(7, tc.at))
+		if k.epoch != tc.epoch || k.ageBucket != tc.bucket {
+			t.Errorf("t=%v: (epoch, bucket) = (%d, %d), want (%d, %d)",
+				tc.at, k.epoch, k.ageBucket, tc.epoch, tc.bucket)
+		}
+		// The intra-epoch bucket must be the shared helper's answer for
+		// the intra-epoch age — serve and drift agree by construction.
+		intra := tc.at - time.Duration(tc.epoch)*coh
+		if want := channel.AgeBucket(intra, coh, AgeBuckets); k.ageBucket != want {
+			t.Errorf("t=%v: bucket %d disagrees with channel.AgeBucket %d", tc.at, k.ageBucket, want)
+		}
+	}
+
+	// The collapse itself: two times in different epochs must never
+	// share a key (the old raw-age clamp mapped both to bucket 4).
+	ka := s.keyFor(sessionReq(7, 105*time.Millisecond))
+	kb := s.keyFor(sessionReq(7, 1005*time.Millisecond))
+	if ka == kb {
+		t.Fatalf("epochs 1 and 10 collapsed onto one cache key: %+v", ka)
+	}
+}
+
+// TestSessionValidityHorizon pins the allocation's validity horizon to
+// the next shared bucket boundary after the request time.
+func TestSessionValidityHorizon(t *testing.T) {
+	const coh = 100 * time.Millisecond
+	cfg := testConfig()
+	cfg.Coherence = coh
+	s := New(cfg)
+	defer s.Close()
+
+	for _, at := range []time.Duration{0, 10 * time.Millisecond, 105 * time.Millisecond, 399 * time.Millisecond} {
+		res, _, err := s.Allocate(context.Background(), sessionReq(7, at))
+		if err != nil {
+			t.Fatalf("Allocate(t=%v): %v", at, err)
+		}
+		if res.ValidUntil <= at {
+			t.Errorf("t=%v: ValidUntil %v not in the future", at, res.ValidUntil)
+		}
+		epochEnd := time.Duration(res.Epoch+1) * coh
+		if res.ValidUntil > epochEnd {
+			t.Errorf("t=%v: ValidUntil %v straddles the epoch ending %v", at, res.ValidUntil, epochEnd)
+		}
+		// The horizon is exactly where the next bucket starts.
+		want := time.Duration(res.Epoch)*coh + channel.BucketStart(res.AgeBucket+1, coh, AgeBuckets)
+		if res.ValidUntil != want {
+			t.Errorf("t=%v: ValidUntil %v, want bucket boundary %v", at, res.ValidUntil, want)
+		}
+	}
+}
+
+// TestSessionTimeZeroMatchesStatic: at controller time 0 a session
+// request has the same cache identity as a fresh static request, so the
+// two share one evaluation and one byte-identical result — the "speed 0
+// output is byte-identical to the static path" half of the drift
+// contract, at the serving layer.
+func TestSessionTimeZeroMatchesStatic(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+
+	static, cached, err := s.Allocate(context.Background(), req1x1(11, strategy.ModeMax))
+	if err != nil {
+		t.Fatalf("static Allocate: %v", err)
+	}
+	if cached {
+		t.Fatal("first request reported cached")
+	}
+	sess, cached, err := s.Allocate(context.Background(), sessionReq(11, 0))
+	if err != nil {
+		t.Fatalf("session Allocate: %v", err)
+	}
+	if !cached {
+		t.Error("session t=0 did not share the static cache entry")
+	}
+	if sess != static {
+		t.Error("session t=0 result differs from static result")
+	}
+}

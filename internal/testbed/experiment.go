@@ -17,6 +17,7 @@ import (
 const (
 	domainLossSweep  uint64 = 0x1055 // per-topology loss-sweep pair streams
 	domainRobustness uint64 = 0x0b57 // per-replicate seeds in RunSeedRobustness
+	domainMobility   uint64 = 0x30b1 // per-topology mobility-sweep controller seeds
 )
 
 // Scheme names match the paper's figure legends. They are owned by
