@@ -6,7 +6,7 @@ GO ?= go
 FUZZTIME ?= 30s
 # Canonical perf-gate subset and sampling (see cmd/copabench). Fixed -Nx
 # benchtime keeps allocs/op deterministic run to run.
-BENCH_PATTERN ?= EquiSNR|EvaluateAll|EigHermitianBatch|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition|FleetMergeShard|DriftStep|IncrementalRealloc|ColdRealloc
+BENCH_PATTERN ?= EquiSNR|EvaluateAll|EigHermitianBatch|Figure9|ServeAllocate|CampaignUnit|SpanOverhead|OpenMetricsExposition|FleetMergeShard|DriftStep|IncrementalRealloc|ColdRealloc|RouterCachedHit|WireBinaryRoundTrip
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 5x
 
@@ -16,7 +16,7 @@ TOOLS_BIN := $(CURDIR)/.tools/bin
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet staticcheck govulncheck check kernel-equiv bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke fleet-smoke drift-smoke clean
+.PHONY: all build test race vet staticcheck govulncheck check kernel-equiv bench bench-obs bench-json bench-check bench-baseline fuzz serve loadtest campaign campaign-smoke fleet-smoke drift-smoke router-smoke clean
 
 all: build test
 
@@ -121,10 +121,14 @@ SERVE_FLAGS ?= -listen 127.0.0.1:7800
 serve:
 	$(GO) run ./cmd/copaserve $(SERVE_FLAGS)
 
-# loadtest drives the httptest-based serving load/shedding suite
-# (mixed cache hits/misses, 503 shedding, SIGTERM drain) verbosely.
+# loadtest drives the httptest-based serving load/shedding suites
+# verbosely: the single-backend suite (mixed cache hits/misses, 503
+# shedding, SIGTERM drain) and the front-tier suite (multi-backend
+# topology with one backend degraded through a seeded fault-injecting
+# transport, hedged p99 SLO, priority shed order).
 loadtest:
 	$(GO) test -v -run 'TestLoad|TestQueueFull|TestSigterm' ./cmd/copaserve
+	$(GO) test -v -run 'TestRouterLoad|TestRouterPriority|TestRouterHedges' ./internal/router
 
 # campaign runs a checkpointed sweep with the paper's population;
 # override CAMPAIGN_FLAGS to scale it up (-topologies 100000).
@@ -144,6 +148,16 @@ campaign-smoke:
 fleet-smoke:
 	$(GO) test -race -run 'TestFleet|TestRunFleet' ./internal/fleet ./cmd/copacampaign
 	./scripts/fleet_smoke.sh
+
+# router-smoke is the CI front-tier gate (DESIGN §15): the router's
+# byte-identity, failover, hedging, priority-shedding and churn suites
+# under the race detector, then a scripted 3-backend + 1-router run —
+# canonical responses through the router cmp'd against a direct
+# copaserve, one backend SIGKILLed under mixed-priority load with zero
+# accepted interactive requests lost.
+router-smoke:
+	$(GO) test -race -run 'TestRouter|TestRing|TestLatencyTracker' ./internal/router ./cmd/coparouter ./cmd/copaload
+	./scripts/router_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,258 @@
+// Command copaload is the front-tier load tester: it drives mixed-
+// priority allocation traffic at one or more targets (a coparouter, or
+// copaserve directly), measures client-side latency quantiles, and
+// reports a JSON summary on stdout. The exit code is the assertion:
+// non-zero if any interactive request failed — shed (503) is not
+// failure, it is the admission contract working; anything else
+// non-200 is.
+//
+// With -canon-out, copaload instead dumps canonical responses: each
+// distinct key is POSTed twice to the first target and the second
+// (cached) response's exact bytes are appended to the file, one line
+// per key. Two such dumps — one through a router, one direct to a
+// single copaserve — must be byte-identical, which is the cmp at the
+// heart of scripts/router_smoke.sh.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"copa/internal/api"
+	"copa/internal/cliflags"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+// classReport is one priority class's request accounting.
+type classReport struct {
+	Sent   int `json:"sent"`
+	OK     int `json:"ok"`
+	Cached int `json:"cached"`
+	Shed   int `json:"shed"`
+	Failed int `json:"failed"`
+}
+
+// report is the JSON summary copaload prints.
+type report struct {
+	Targets     []string    `json:"targets"`
+	Requests    int         `json:"requests"`
+	Interactive classReport `json:"interactive"`
+	Batch       classReport `json:"batch"`
+	LatencyMS   struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	DurationMS float64 `json:"duration_ms"`
+	RPS        float64 `json:"rps"`
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("copaload", flag.ContinueOnError)
+	n := fs.Int("n", 200, "total requests to send")
+	clients := fs.Int("clients", 4, "concurrent client goroutines")
+	batchFraction := fs.Float64("batch-fraction", 0.25, "fraction of clients sending batch-class traffic")
+	distinct := fs.Int("distinct", 16, "distinct request keys (seeds) to cycle; repeats exercise the caches")
+	scenario := fs.String("scenario", "4x2", "scenario name sent in every request")
+	mode := fs.String("mode", "max", "selection mode sent in every request")
+	binary := fs.Bool("binary", false, "use the compact binary codec instead of JSON")
+	canonOut := fs.String("canon-out", "", "dump mode: write each distinct key's cached response bytes to this file and exit")
+	rf := cliflags.Router(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := rf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *n < 1 || *clients < 1 || *distinct < 1 || *batchFraction < 0 || *batchFraction > 1 {
+		fmt.Fprintln(os.Stderr, "copaload: -n, -clients and -distinct must be ≥ 1 and -batch-fraction in [0,1]")
+		return 2
+	}
+
+	body := func(seed int) ([]byte, string, error) {
+		ar := api.AllocateRequest{Scenario: *scenario, Seed: int64(seed), Mode: *mode}
+		if *binary {
+			b, err := api.EncodeRequestBinary(ar)
+			return b, api.ContentTypeBinary, err
+		}
+		b, err := json.Marshal(ar)
+		return b, api.ContentTypeJSON, err
+	}
+
+	if *canonOut != "" {
+		return dumpCanonical(rf.Backends[0], *canonOut, *distinct, body)
+	}
+	return loadTest(out, rf, *n, *clients, *batchFraction, *distinct, body)
+}
+
+// post sends one allocation and returns the status, response bytes and
+// whether the server marked the result cached.
+func post(client *http.Client, target string, body []byte, contentType, priorityHeader, class string) (int, []byte, bool, error) {
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/allocate", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("Accept", contentType)
+	if class != "" {
+		req.Header.Set(priorityHeader, class)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, false, err
+	}
+	cached := false
+	if resp.StatusCode == http.StatusOK {
+		if contentType == api.ContentTypeBinary {
+			if br, err := api.DecodeResponseBinary(data); err == nil {
+				cached = br.Cached
+			}
+		} else {
+			var ar api.AllocateResponse
+			if err := json.Unmarshal(data, &ar); err == nil {
+				cached = ar.Cached
+			}
+		}
+	}
+	return resp.StatusCode, data, cached, nil
+}
+
+// dumpCanonical POSTs every distinct key twice to one target and
+// writes the second — cached, hence identically reproducible —
+// response's bytes to path, one line per key.
+func dumpCanonical(target, path string, distinct int, body func(int) ([]byte, string, error)) int {
+	client := &http.Client{Timeout: 60 * time.Second}
+	var buf bytes.Buffer
+	for seed := 0; seed < distinct; seed++ {
+		b, ct, err := body(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "copaload: encode seed %d: %v\n", seed, err)
+			return 1
+		}
+		var data []byte
+		for i := 0; i < 2; i++ {
+			status, d, _, err := post(client, target, b, ct, "", "")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "copaload: seed %d: %v\n", seed, err)
+				return 1
+			}
+			if status != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "copaload: seed %d: status %d: %s\n", seed, status, d)
+				return 1
+			}
+			data = d
+		}
+		buf.Write(data)
+		if len(data) == 0 || data[len(data)-1] != '\n' {
+			buf.WriteByte('\n') // JSON responses already end with one; binary does not
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "copaload: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func loadTest(out io.Writer, rf *cliflags.RouterFlags, n, clients int, batchFraction float64, distinct int, body func(int) ([]byte, string, error)) int {
+	var (
+		mu        sync.Mutex
+		latencies []float64 // ms
+		inter     classReport
+		batch     classReport
+	)
+	batchClients := int(batchFraction * float64(clients))
+	perClient := n / clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		extra := 0
+		if c < n%clients {
+			extra = 1 // spread the remainder so exactly n requests go out
+		}
+		wg.Add(1)
+		go func(c, count int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			class := ""
+			if c < batchClients {
+				class = "batch"
+			}
+			target := rf.Backends[c%len(rf.Backends)]
+			for i := 0; i < count; i++ {
+				b, ct, err := body((c*perClient + i) % distinct)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "copaload: encode: %v\n", err)
+					return
+				}
+				t0 := time.Now()
+				status, _, cached, err := post(client, target, b, ct, rf.PriorityHeader, class)
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				cr := &inter
+				if class == "batch" {
+					cr = &batch
+				}
+				cr.Sent++
+				switch {
+				case err != nil:
+					cr.Failed++
+				case status == http.StatusOK:
+					cr.OK++
+					if cached {
+						cr.Cached++
+					}
+					latencies = append(latencies, ms)
+				case status == http.StatusServiceUnavailable:
+					cr.Shed++
+				default:
+					cr.Failed++
+				}
+				mu.Unlock()
+			}
+		}(c, perClient+extra)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{Targets: rf.Backends, Requests: inter.Sent + batch.Sent, Interactive: inter, Batch: batch}
+	rep.DurationMS = float64(elapsed) / float64(time.Millisecond)
+	if rep.DurationMS > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		q := func(p float64) float64 { return latencies[int(p*float64(len(latencies)-1))] }
+		rep.LatencyMS.P50 = q(0.50)
+		rep.LatencyMS.P95 = q(0.95)
+		rep.LatencyMS.P99 = q(0.99)
+		rep.LatencyMS.Max = latencies[len(latencies)-1]
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "copaload: %v\n", err)
+		return 1
+	}
+	if inter.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "copaload: %d interactive requests failed\n", inter.Failed)
+		return 1
+	}
+	return 0
+}

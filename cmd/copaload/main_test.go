@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"copa/internal/api"
+	"copa/internal/serve"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 1})
+	ts := httptest.NewServer(api.NewHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func TestLoadReportAndExitCode(t *testing.T) {
+	ts := newBackend(t)
+	var out bytes.Buffer
+	code := run([]string{
+		"-backends", ts.URL,
+		"-n", "40", "-clients", "4", "-distinct", "8", "-batch-fraction", "0.25",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("exit = %d against a healthy backend\n%s", code, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 40 {
+		t.Errorf("requests = %d, want 40", rep.Requests)
+	}
+	if rep.Interactive.OK == 0 || rep.Batch.OK == 0 {
+		t.Errorf("both classes should succeed: %+v %+v", rep.Interactive, rep.Batch)
+	}
+	if rep.Interactive.Failed != 0 || rep.Batch.Failed != 0 {
+		t.Errorf("unexpected failures: %+v %+v", rep.Interactive, rep.Batch)
+	}
+	if rep.Interactive.Cached == 0 {
+		t.Error("cycling 8 keys over 30 interactive requests must hit the cache")
+	}
+	if rep.LatencyMS.P99 <= 0 || rep.RPS <= 0 {
+		t.Errorf("latency/rps not reported: %+v", rep.LatencyMS)
+	}
+}
+
+func TestLoadFailsOnDeadTarget(t *testing.T) {
+	ts := newBackend(t)
+	ts.Close() // connection refused
+	var out bytes.Buffer
+	if code := run([]string{"-backends", ts.URL, "-n", "4", "-clients", "1"}, &out); code != 1 {
+		t.Fatalf("exit = %d against a dead target, want 1", code)
+	}
+}
+
+// TestCanonicalDumpByteIdentical: two dumps of the same key space from
+// two independent backends must produce identical files — the
+// determinism the router smoke test's cmp relies on.
+func TestCanonicalDumpByteIdentical(t *testing.T) {
+	a, b := newBackend(t), newBackend(t)
+	dir := t.TempDir()
+	fileA, fileB := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+
+	for target, path := range map[string]string{a.URL: fileA, b.URL: fileB} {
+		var out bytes.Buffer
+		if code := run([]string{"-backends", target, "-canon-out", path, "-distinct", "6"}, &out); code != 0 {
+			t.Fatalf("canon dump exit = %d\n%s", code, out.String())
+		}
+	}
+	da, err := os.ReadFile(fileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(fileB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) == 0 || !bytes.Equal(da, db) {
+		t.Errorf("canonical dumps differ between identical backends (len %d vs %d)", len(da), len(db))
+	}
+	// Every line is a cached response.
+	for i, line := range bytes.Split(bytes.TrimSuffix(da, []byte("\n")), []byte("\n")) {
+		var ar api.AllocateResponse
+		if err := json.Unmarshal(line, &ar); err != nil {
+			t.Fatalf("line %d is not a response: %v", i, err)
+		}
+		if !ar.Cached {
+			t.Errorf("line %d is not the cached (second) response", i)
+		}
+	}
+}
+
+func TestBinaryCodecEndToEnd(t *testing.T) {
+	ts := newBackend(t)
+	var out bytes.Buffer
+	code := run([]string{"-backends", ts.URL, "-n", "8", "-clients", "2", "-binary"}, &out)
+	if code != 0 {
+		t.Fatalf("binary load exit = %d\n%s", code, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interactive.OK+rep.Batch.OK != 8 {
+		t.Errorf("binary codec requests failed: %+v %+v", rep.Interactive, rep.Batch)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for name, args := range map[string][]string{
+		"no targets":    {},
+		"bad fraction":  {"-backends", "http://a:1", "-batch-fraction", "2"},
+		"zero requests": {"-backends", "http://a:1", "-n", "0"},
+	} {
+		if code := run(args, &out); code != 2 {
+			t.Errorf("%s: exit = %d, want 2", name, code)
+		}
+	}
+}

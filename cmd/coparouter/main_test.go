@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"copa/internal/api"
+	"copa/internal/serve"
+)
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 1})
+	ts := httptest.NewServer(api.NewHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func TestBadFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for name, args := range map[string][]string{
+		"no backends":    {"-listen", "127.0.0.1:0"},
+		"bad backend":    {"-listen", "127.0.0.1:0", "-backends", "not-a-url"},
+		"unknown flag":   {"-nope"},
+		"bad hedge":      {"-backends", "http://a:1", "-hedge-budget", "-5ms"},
+		"blank priority": {"-backends", "http://a:1", "-priority-header", ""},
+	} {
+		if code := run(args, devnull); code != 2 {
+			t.Errorf("%s: exit = %d, want 2", name, code)
+		}
+	}
+}
+
+// TestDaemonLifecycle boots the real coparouter in-process over two
+// real copaserve backends, checks requests proxy and cache through it,
+// then SIGTERMs and requires a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	b1, b2 := newBackend(t), newBackend(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	f, err := os.CreateTemp(t.TempDir(), "coparouter-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-backends", b1.URL + "," + b2.URL,
+			"-health-interval", "-1ms",
+		}, f)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("router never wrote its addr-file")
+		}
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base = strings.TrimSpace(string(data))
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	var cached bool
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/allocate", api.ContentTypeJSON,
+			strings.NewReader(`{"scenario":"4x2","seed":9}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ar api.AllocateResponse
+		err = json.NewDecoder(resp.Body).Decode(&ar)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("allocate via daemon: status %d err %v", resp.StatusCode, err)
+		}
+		cached = ar.Cached
+	}
+	if !cached {
+		t.Error("second identical request was not served from a backend cache")
+	}
+
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hresp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			data, _ := os.ReadFile(f.Name())
+			t.Fatalf("exit = %d, want 0\n%s", code, data)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	data, _ := os.ReadFile(f.Name())
+	if !strings.Contains(string(data), "drained") {
+		t.Fatalf("daemon did not report a drain:\n%s", data)
+	}
+}

@@ -1,200 +1,15 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"time"
 
-	"copa/internal/cliflags"
-	"copa/internal/obs"
+	"copa/internal/api"
 	"copa/internal/serve"
-	"copa/internal/strategy"
 )
 
-// allocateRequest is the POST /v1/allocate body. Scenario, mode and
-// impairments use the same names as the CLI flags.
-type allocateRequest struct {
-	Scenario     string  `json:"scenario"`
-	Seed         int64   `json:"seed"`
-	Mode         string  `json:"mode,omitempty"`
-	Impairments  string  `json:"impairments,omitempty"`
-	CSIAgeMS     float64 `json:"csi_age_ms,omitempty"`
-	MultiDecoder bool    `json:"multi_decoder,omitempty"`
-	// Session mode: TimeMS is the controller time of a long-running
-	// session; the server derives the CSI epoch and age bucket from it
-	// (csi_age_ms is ignored) and the reply carries the allocation's
-	// epoch and validity horizon.
-	Session bool    `json:"session,omitempty"`
-	TimeMS  float64 `json:"time_ms,omitempty"`
-}
+// The wire types, codecs and routing for /v1/allocate live in
+// internal/api so coparouter and copaload speak the same protocol;
+// this daemon just mounts the shared handler.
+type allocateResponse = api.AllocateResponse
 
-// outcomeJSON is one strategy's evaluation in wire form.
-type outcomeJSON struct {
-	Strategy     string     `json:"strategy"`
-	Concurrent   bool       `json:"concurrent"`
-	SDA          bool       `json:"sda,omitempty"`
-	PerClientBps [2]float64 `json:"per_client_bps"`
-	PredictedBps [2]float64 `json:"predicted_bps"`
-	AggregateBps float64    `json:"aggregate_bps"`
-}
-
-func toOutcomeJSON(o strategy.Outcome) outcomeJSON {
-	return outcomeJSON{
-		Strategy:     o.Kind.String(),
-		Concurrent:   o.Concurrent,
-		SDA:          o.SDA,
-		PerClientBps: o.PerClient,
-		PredictedBps: o.Predicted,
-		AggregateBps: o.Aggregate(),
-	}
-}
-
-// allocateResponse is the POST /v1/allocate reply.
-type allocateResponse struct {
-	Cached    bool  `json:"cached"`
-	AgeBucket int   `json:"age_bucket"`
-	Epoch     int64 `json:"epoch,omitempty"`
-	// ValidUntilMS is the session controller time at which this
-	// allocation's age bucket expires (session mode only).
-	ValidUntilMS float64                `json:"valid_until_ms,omitempty"`
-	Selected     outcomeJSON            `json:"selected"`
-	Outcomes     map[string]outcomeJSON `json:"outcomes"`
-}
-
-// errorResponse is every non-2xx body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// parseRequest maps the wire request onto a serve.Request.
-func parseRequest(ar allocateRequest) (serve.Request, error) {
-	var req serve.Request
-	sc, err := cliflags.ParseScenario(ar.Scenario)
-	if err != nil {
-		return req, err
-	}
-	mode := strategy.ModeMax
-	if ar.Mode != "" {
-		if mode, err = cliflags.ParseMode(ar.Mode); err != nil {
-			return req, err
-		}
-	}
-	imp, err := cliflags.ParseImpairments(ar.Impairments)
-	if err != nil {
-		return req, err
-	}
-	if ar.CSIAgeMS < 0 {
-		return req, fmt.Errorf("negative csi_age_ms %g", ar.CSIAgeMS)
-	}
-	if ar.TimeMS < 0 {
-		return req, fmt.Errorf("negative time_ms %g", ar.TimeMS)
-	}
-	if ar.TimeMS > 0 && !ar.Session {
-		return req, fmt.Errorf("time_ms requires session mode")
-	}
-	req = serve.Request{
-		Scenario:     sc,
-		Seed:         ar.Seed,
-		Mode:         mode,
-		Impairments:  imp,
-		CSIAge:       time.Duration(ar.CSIAgeMS * float64(time.Millisecond)),
-		MultiDecoder: ar.MultiDecoder,
-		Session:      ar.Session,
-		Time:         time.Duration(ar.TimeMS * float64(time.Millisecond)),
-	}
-	return req, nil
-}
-
-// healthzResponse wraps the pool stats with the binary's build
-// identity, so one probe answers both "is it healthy" and "what is it
-// running".
-type healthzResponse struct {
-	serve.Stats
-	Build obs.BuildInfo `json:"build"`
-}
-
-// newMux routes the daemon: the allocation endpoint, a health probe
-// reporting queue/cache occupancy and build identity, and the obs
-// debug endpoints (/metrics OpenMetrics exposition, /debug/vars,
-// /debug/metrics, /debug/spans, /debug/buildinfo, /debug/pprof).
-//
-// /v1/allocate participates in distributed tracing: an incoming W3C
-// traceparent header continues the caller's trace, otherwise the
-// handler roots a new one (subject to -trace-sample), and either way
-// the response echoes a traceparent naming the request's trace so the
-// client can fetch the stitched tree from /debug/spans?trace=<id>.
-func newMux(srv *serve.Server) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
-		ctx := obs.ExtractHTTP(r.Context(), r.Header)
-		ctx, span := obs.StartSpan(ctx, "http.allocate")
-		if sc := span.Context(); sc.Valid() {
-			w.Header().Set(obs.TraceparentHeader, sc.Traceparent())
-		}
-		var ar allocateRequest
-		if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
-			span.EndErr(err)
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
-		req, err := parseRequest(ar)
-		if err != nil {
-			span.EndErr(err)
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		span.SetAttr("scenario", ar.Scenario)
-		res, cached, err := srv.Allocate(ctx, req)
-		span.SetAttr("cached", fmt.Sprintf("%t", cached))
-		span.EndErr(err)
-		if err != nil {
-			switch {
-			case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrServerClosed):
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
-			case errors.Is(err, serve.ErrExpired), errors.Is(err, context.DeadlineExceeded):
-				writeError(w, http.StatusGatewayTimeout, "%v", err)
-			default:
-				writeError(w, http.StatusInternalServerError, "%v", err)
-			}
-			return
-		}
-		resp := allocateResponse{
-			Cached:       cached,
-			AgeBucket:    res.AgeBucket,
-			Epoch:        res.Epoch,
-			ValidUntilMS: float64(res.ValidUntil) / float64(time.Millisecond),
-			Selected:     toOutcomeJSON(res.Selected),
-			Outcomes:     make(map[string]outcomeJSON, len(res.Outcomes)),
-		}
-		for k, o := range res.Outcomes {
-			resp.Outcomes[k.String()] = toOutcomeJSON(o)
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		st := srv.Stats()
-		status := http.StatusOK
-		if st.Draining {
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, healthzResponse{Stats: st, Build: obs.ReadBuildInfo()})
-	})
-	dbg := obs.DebugMux()
-	mux.Handle("/debug/", dbg)
-	mux.Handle("/metrics", dbg)
-	return mux
-}
+func newMux(srv *serve.Server) *http.ServeMux { return api.NewHandler(srv) }

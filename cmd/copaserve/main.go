@@ -43,6 +43,7 @@ func run(args []string, out *os.File) int {
 	cacheEntries := fs.Int("cache-entries", def.CacheEntries, "result cache bound in entries (negative disables caching)")
 	deadline := fs.Duration("deadline", def.DefaultDeadline, "default per-request deadline")
 	drainTimeout := fs.Duration("drain-timeout", def.DrainTimeout, "how long shutdown waits for in-flight requests")
+	addrFile := fs.String("addr-file", "", "write the bound base URL to this file once listening (for scripted handoff with \":0\")")
 	dbg := cliflags.Debug(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +73,12 @@ func run(args []string, out *os.File) int {
 	hs := &http.Server{Handler: newMux(srv)}
 	fmt.Fprintf(out, "copaserve listening on http://%s (workers=%d queue=%d cache=%d)\n",
 		ln.Addr(), srv.Stats().Workers, *queue, *cacheEntries)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte("http://"+ln.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Error("addr-file write failed", "path", *addrFile, "err", err)
+			return 1
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

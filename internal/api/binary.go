@@ -1,0 +1,286 @@
+package api
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"mime"
+	"sort"
+	"strings"
+)
+
+// The compact binary codec for /v1/allocate. The HTTP/JSON marshal is
+// a measurable fraction of a warm cache hit, so latency-sensitive
+// clients (coparouter's load tester, embedded controllers) can send
+// Content-Type: application/x-copa-bin and Accept the same type back.
+//
+// The format is deliberately boring — version byte, little-endian
+// fixed-width numbers, uint8-length-prefixed strings — so the golden
+// test can pin the exact bytes and any accidental layout change breaks
+// loudly. Names (scenario, mode, impairments, strategies) travel as
+// strings, not enums, so adding one never re-numbers the wire.
+//
+// Request layout (binaryVersion, then in order):
+//
+//	u8 version | str scenario | i64 seed | str mode | str impairments
+//	| f64 csi_age_ms | u8 flags (bit0 multi, bit1 session) | f64 time_ms
+//
+// Response layout:
+//
+//	u8 version | u8 flags (bit0 cached) | u8 age_bucket | i64 epoch
+//	| f64 valid_until_ms | outcome selected | u8 n | n × (str key, outcome)
+//
+// with outcomes sorted by key, and one outcome encoded as:
+//
+//	str strategy | u8 flags (bit0 concurrent, bit1 sda)
+//	| f64×2 per_client | f64×2 predicted | f64 aggregate
+const binaryVersion = 1
+
+// maxBinaryLen bounds a decodable message; both sides reject anything
+// larger before allocating.
+const maxBinaryLen = 1 << 20
+
+// IsBinary reports whether a Content-Type or Accept header value
+// names the binary codec (parameters like charset are ignored).
+func IsBinary(header string) bool {
+	if header == "" {
+		return false
+	}
+	if mt, _, err := mime.ParseMediaType(header); err == nil {
+		return mt == ContentTypeBinary
+	}
+	// Accept headers can be lists mime.ParseMediaType rejects; a
+	// substring scan is enough to honor an explicit opt-in.
+	return strings.Contains(header, ContentTypeBinary)
+}
+
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) u8(v byte)   { w.buf = append(w.buf, v) }
+func (w *binWriter) i64(v int64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *binWriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *binWriter) str(s string) error {
+	if len(s) > 255 {
+		return fmt.Errorf("api: string %q exceeds 255 bytes", s[:32])
+	}
+	w.u8(byte(len(s)))
+	w.buf = append(w.buf, s...)
+	return nil
+}
+
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("api: "+format, args...)
+	}
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("truncated message at offset %d (need %d of %d bytes)", r.off, n, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *binReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *binReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *binReader) str() string {
+	n := int(r.u8())
+	return string(r.take(n))
+}
+
+// done rejects trailing garbage so a concatenated or corrupted body
+// cannot silently decode.
+func (r *binReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("api: %d trailing bytes after message", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// EncodeRequestBinary renders ar in the binary request layout.
+func EncodeRequestBinary(ar AllocateRequest) ([]byte, error) {
+	w := binWriter{buf: make([]byte, 0, 64)}
+	w.u8(binaryVersion)
+	if err := w.str(ar.Scenario); err != nil {
+		return nil, err
+	}
+	w.i64(ar.Seed)
+	if err := w.str(ar.Mode); err != nil {
+		return nil, err
+	}
+	if err := w.str(ar.Impairments); err != nil {
+		return nil, err
+	}
+	w.f64(ar.CSIAgeMS)
+	var flags byte
+	if ar.MultiDecoder {
+		flags |= 1
+	}
+	if ar.Session {
+		flags |= 2
+	}
+	w.u8(flags)
+	w.f64(ar.TimeMS)
+	return w.buf, nil
+}
+
+// DecodeRequestBinary parses a binary request body.
+func DecodeRequestBinary(data []byte) (AllocateRequest, error) {
+	var ar AllocateRequest
+	if len(data) > maxBinaryLen {
+		return ar, fmt.Errorf("api: request of %d bytes exceeds limit", len(data))
+	}
+	r := binReader{buf: data}
+	if v := r.u8(); r.err == nil && v != binaryVersion {
+		return ar, fmt.Errorf("api: unsupported binary version %d", v)
+	}
+	ar.Scenario = r.str()
+	ar.Seed = r.i64()
+	ar.Mode = r.str()
+	ar.Impairments = r.str()
+	ar.CSIAgeMS = r.f64()
+	flags := r.u8()
+	ar.MultiDecoder = flags&1 != 0
+	ar.Session = flags&2 != 0
+	ar.TimeMS = r.f64()
+	return ar, r.done()
+}
+
+func (w *binWriter) outcome(o Outcome) error {
+	if err := w.str(o.Strategy); err != nil {
+		return err
+	}
+	var flags byte
+	if o.Concurrent {
+		flags |= 1
+	}
+	if o.SDA {
+		flags |= 2
+	}
+	w.u8(flags)
+	w.f64(o.PerClientBps[0])
+	w.f64(o.PerClientBps[1])
+	w.f64(o.PredictedBps[0])
+	w.f64(o.PredictedBps[1])
+	w.f64(o.AggregateBps)
+	return nil
+}
+
+func (r *binReader) outcome() Outcome {
+	var o Outcome
+	o.Strategy = r.str()
+	flags := r.u8()
+	o.Concurrent = flags&1 != 0
+	o.SDA = flags&2 != 0
+	o.PerClientBps[0] = r.f64()
+	o.PerClientBps[1] = r.f64()
+	o.PredictedBps[0] = r.f64()
+	o.PredictedBps[1] = r.f64()
+	o.AggregateBps = r.f64()
+	return o
+}
+
+// EncodeResponseBinary renders resp in the binary response layout.
+// Outcome keys are sorted, so equal responses encode to equal bytes —
+// the property the router smoke test's byte-identity cmp leans on.
+func EncodeResponseBinary(resp AllocateResponse) ([]byte, error) {
+	w := binWriter{buf: make([]byte, 0, 64+64*len(resp.Outcomes))}
+	w.u8(binaryVersion)
+	var flags byte
+	if resp.Cached {
+		flags |= 1
+	}
+	w.u8(flags)
+	if resp.AgeBucket < 0 || resp.AgeBucket > 255 {
+		return nil, fmt.Errorf("api: age bucket %d out of range", resp.AgeBucket)
+	}
+	w.u8(byte(resp.AgeBucket))
+	w.i64(resp.Epoch)
+	w.f64(resp.ValidUntilMS)
+	if err := w.outcome(resp.Selected); err != nil {
+		return nil, err
+	}
+	if len(resp.Outcomes) > 255 {
+		return nil, fmt.Errorf("api: %d outcomes exceed limit", len(resp.Outcomes))
+	}
+	keys := make([]string, 0, len(resp.Outcomes))
+	for k := range resp.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u8(byte(len(keys)))
+	for _, k := range keys {
+		if err := w.str(k); err != nil {
+			return nil, err
+		}
+		if err := w.outcome(resp.Outcomes[k]); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+// DecodeResponseBinary parses a binary response body.
+func DecodeResponseBinary(data []byte) (AllocateResponse, error) {
+	var resp AllocateResponse
+	if len(data) > maxBinaryLen {
+		return resp, fmt.Errorf("api: response of %d bytes exceeds limit", len(data))
+	}
+	r := binReader{buf: data}
+	if v := r.u8(); r.err == nil && v != binaryVersion {
+		return resp, fmt.Errorf("api: unsupported binary version %d", v)
+	}
+	flags := r.u8()
+	resp.Cached = flags&1 != 0
+	resp.AgeBucket = int(r.u8())
+	resp.Epoch = r.i64()
+	resp.ValidUntilMS = r.f64()
+	resp.Selected = r.outcome()
+	n := int(r.u8())
+	resp.Outcomes = make(map[string]Outcome, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str()
+		resp.Outcomes[k] = r.outcome()
+	}
+	return resp, r.done()
+}

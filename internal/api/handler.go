@@ -1,0 +1,144 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"copa/internal/obs"
+	"copa/internal/serve"
+)
+
+// HealthzResponse wraps the pool stats with the binary's build
+// identity, so one probe answers both "is it healthy" and "what is it
+// running". Stats carries the per-shard result-cache readings (hits,
+// misses, evictions, entries) the router uses to observe shard
+// balance.
+type HealthzResponse struct {
+	serve.Stats
+	Build obs.BuildInfo `json:"build"`
+}
+
+// WriteJSON writes v as a JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the standard JSON error body. Errors are JSON even
+// for binary-negotiated requests: they are for humans and logs.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds an allocate request body; both codecs fit a
+// request in well under a kilobyte.
+const maxRequestBody = 1 << 20
+
+// DecodeRequestBody decodes an allocate request according to the
+// request's Content-Type: the binary codec when negotiated, JSON
+// otherwise.
+func DecodeRequestBody(contentType string, body []byte) (AllocateRequest, error) {
+	var ar AllocateRequest
+	if IsBinary(contentType) {
+		return DecodeRequestBinary(body)
+	}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return ar, fmt.Errorf("bad request body: %w", err)
+	}
+	return ar, nil
+}
+
+// NewHandler routes the allocation daemon: the allocation endpoint, a
+// health probe reporting queue/cache occupancy and build identity, and
+// the obs debug endpoints (/metrics OpenMetrics exposition,
+// /debug/vars, /debug/metrics, /debug/spans, /debug/buildinfo,
+// /debug/pprof).
+//
+// /v1/allocate participates in distributed tracing: an incoming W3C
+// traceparent header continues the caller's trace (one TraceID spans
+// client → coparouter → this backend), otherwise the handler roots a
+// new one (subject to -trace-sample), and either way the response
+// echoes a traceparent naming the request's trace so the client can
+// fetch the stitched tree from /debug/spans?trace=<id>.
+//
+// The endpoint content-negotiates its codec per request: a body sent
+// with Content-Type: application/x-copa-bin decodes via the compact
+// binary codec, and Accept: application/x-copa-bin selects a binary
+// response; JSON remains the default on both sides.
+func NewHandler(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.ExtractHTTP(r.Context(), r.Header)
+		ctx, span := obs.StartSpan(ctx, "http.allocate")
+		if sc := span.Context(); sc.Valid() {
+			w.Header().Set(obs.TraceparentHeader, sc.Traceparent())
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+		if err == nil && len(body) > maxRequestBody {
+			err = fmt.Errorf("request body exceeds %d bytes", maxRequestBody)
+		}
+		if err != nil {
+			span.EndErr(err)
+			WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		ar, err := DecodeRequestBody(r.Header.Get("Content-Type"), body)
+		if err != nil {
+			span.EndErr(err)
+			WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req, err := ParseRequest(ar)
+		if err != nil {
+			span.EndErr(err)
+			WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		span.SetAttr("scenario", ar.Scenario)
+		res, cached, err := srv.Allocate(ctx, req)
+		span.SetAttr("cached", fmt.Sprintf("%t", cached))
+		span.EndErr(err)
+		if err != nil {
+			switch {
+			case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrServerClosed):
+				w.Header().Set("Retry-After", "1")
+				WriteError(w, http.StatusServiceUnavailable, "%v", err)
+			case errors.Is(err, serve.ErrExpired), errors.Is(err, context.DeadlineExceeded):
+				WriteError(w, http.StatusGatewayTimeout, "%v", err)
+			default:
+				WriteError(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		resp := ToResponse(res, cached)
+		if IsBinary(r.Header.Get("Accept")) {
+			data, err := EncodeResponseBinary(resp)
+			if err != nil {
+				WriteError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			w.Header().Set("Content-Type", ContentTypeBinary)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(data)
+			return
+		}
+		WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := srv.Stats()
+		status := http.StatusOK
+		if st.Draining {
+			status = http.StatusServiceUnavailable
+		}
+		WriteJSON(w, status, HealthzResponse{Stats: st, Build: obs.ReadBuildInfo()})
+	})
+	dbg := obs.DebugMux()
+	mux.Handle("/debug/", dbg)
+	mux.Handle("/metrics", dbg)
+	return mux
+}

@@ -1,0 +1,90 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// RouterFlags is the front-tier flag set coparouter and copaload
+// share: the backend/target list, the hedge budget, and the priority
+// header name. One bundle keeps the two commands' vocabularies
+// identical, so a smoke script can move a flag between them without
+// translation.
+type RouterFlags struct {
+	// Backends are base URLs: the copaserve pool for coparouter, the
+	// POST targets for copaload. Accumulated across repeats of
+	// -backends and split on commas; trailing slashes are trimmed.
+	Backends []string
+	// HedgeBudget fixes the hedge trigger latency (0 = adapt to the
+	// observed backend p99). copaload accepts it for flag parity but
+	// only coparouter acts on it.
+	HedgeBudget time.Duration
+	// PriorityHeader names the request header carrying the priority
+	// class ("interactive" sheds last, anything else sheds first).
+	PriorityHeader string
+}
+
+// backendListValue accumulates comma-separated base URLs.
+type backendListValue struct{ dst *[]string }
+
+func (v *backendListValue) String() string {
+	if v.dst == nil {
+		return ""
+	}
+	return strings.Join(*v.dst, ",")
+}
+
+func (v *backendListValue) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		*v.dst = append(*v.dst, strings.TrimRight(part, "/"))
+	}
+	return nil
+}
+
+// Router registers -backends, -hedge-budget and -priority-header.
+func Router(fs *flag.FlagSet) *RouterFlags {
+	r := &RouterFlags{PriorityHeader: "X-Copa-Priority"}
+	fs.Var(&backendListValue{dst: &r.Backends}, "backends",
+		"comma-separated copaserve base URLs (repeatable), e.g. http://127.0.0.1:7800,http://127.0.0.1:7801")
+	fs.DurationVar(&r.HedgeBudget, "hedge-budget", 0,
+		"duplicate a request to the next backend after this long without an answer (0 = adapt to observed p99)")
+	fs.StringVar(&r.PriorityHeader, "priority-header", r.PriorityHeader,
+		"request header naming the priority class (interactive sheds last, batch first)")
+	return r
+}
+
+// Validate rejects unusable router flag values: every backend must be
+// an absolute http(s) URL, and the header/budget must be usable.
+func (r *RouterFlags) Validate() error {
+	if len(r.Backends) == 0 {
+		return fmt.Errorf("-backends requires at least one base URL")
+	}
+	seen := map[string]bool{}
+	for _, b := range r.Backends {
+		u, err := url.Parse(b)
+		if err != nil {
+			return fmt.Errorf("-backends %q: %v", b, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("-backends %q: want an absolute http(s) base URL", b)
+		}
+		if seen[b] {
+			return fmt.Errorf("-backends lists %q twice", b)
+		}
+		seen[b] = true
+	}
+	if r.HedgeBudget < 0 {
+		return fmt.Errorf("-hedge-budget must be ≥ 0 (got %v)", r.HedgeBudget)
+	}
+	if strings.TrimSpace(r.PriorityHeader) == "" {
+		return fmt.Errorf("-priority-header must not be empty")
+	}
+	return nil
+}

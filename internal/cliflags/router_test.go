@@ -1,0 +1,55 @@
+package cliflags
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func parseRouter(t *testing.T, args ...string) (*RouterFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	r := Router(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return r, r.Validate()
+}
+
+func TestRouterFlagsParse(t *testing.T) {
+	r, err := parseRouter(t,
+		"-backends", "http://a:1,http://b:2/", "-backends", "http://c:3",
+		"-hedge-budget", "25ms", "-priority-header", "X-Class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if !reflect.DeepEqual(r.Backends, want) {
+		t.Errorf("backends = %v, want %v (comma-split, repeat-accumulated, slash-trimmed)", r.Backends, want)
+	}
+	if r.HedgeBudget != 25*time.Millisecond {
+		t.Errorf("hedge budget = %v", r.HedgeBudget)
+	}
+	if r.PriorityHeader != "X-Class" {
+		t.Errorf("priority header = %q", r.PriorityHeader)
+	}
+}
+
+func TestRouterFlagsValidate(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no backends":     {},
+		"relative url":    {"-backends", "localhost:7800"},
+		"bad scheme":      {"-backends", "ftp://a:1"},
+		"duplicate":       {"-backends", "http://a:1,http://a:1"},
+		"negative budget": {"-backends", "http://a:1", "-hedge-budget", "-1ms"},
+		"blank header":    {"-backends", "http://a:1", "-priority-header", " "},
+	} {
+		if _, err := parseRouter(t, args...); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	if _, err := parseRouter(t, "-backends", "https://pool.example:443"); err != nil {
+		t.Errorf("https backend rejected: %v", err)
+	}
+}

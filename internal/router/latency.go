@@ -1,0 +1,87 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker derives the hedge budget from observed backend
+// latency: a fixed ring of the last trackerWindow successful attempt
+// durations, with the p99 recomputed lazily (at most once per
+// trackerRefresh) so recording stays allocation-free on the request
+// path and the sort cost is amortized across many requests.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [trackerWindow]float64 // seconds
+	n       int                    // total recorded (ring is full once n >= window)
+	next    int
+
+	budget     time.Duration // cached p99-derived budget
+	recomputed time.Time
+}
+
+const (
+	trackerWindow  = 512
+	trackerRefresh = 100 * time.Millisecond
+	// trackerMinSamples gates the adaptive budget: below it the tracker
+	// has no statistical footing and the default budget applies.
+	trackerMinSamples = 32
+)
+
+func (lt *latencyTracker) record(d time.Duration) {
+	lt.mu.Lock()
+	lt.samples[lt.next] = d.Seconds()
+	lt.next = (lt.next + 1) % trackerWindow
+	lt.n++
+	lt.mu.Unlock()
+}
+
+// quantile computes the p-quantile over the current window (0 with
+// too few samples). It allocates a scratch copy; callers are the
+// budget refresh and stats endpoints, never the per-request fast path.
+func (lt *latencyTracker) quantile(p float64) time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.quantileLocked(p)
+}
+
+func (lt *latencyTracker) quantileLocked(p float64) time.Duration {
+	n := lt.n
+	if n > trackerWindow {
+		n = trackerWindow
+	}
+	if n < trackerMinSamples {
+		return 0
+	}
+	scratch := make([]float64, n)
+	copy(scratch, lt.samples[:n])
+	sort.Float64s(scratch)
+	idx := int(p * float64(n-1))
+	return time.Duration(scratch[idx] * float64(time.Second))
+}
+
+// hedgeBudget returns the p99-derived budget clamped to [min, max],
+// or def while the window is still filling. The cached value is
+// refreshed at most every trackerRefresh.
+func (lt *latencyTracker) hedgeBudget(def, min, max time.Duration) time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if time.Since(lt.recomputed) < trackerRefresh && lt.budget > 0 {
+		return lt.budget
+	}
+	b := lt.quantileLocked(0.99)
+	if b <= 0 {
+		b = def
+	}
+	if b < min {
+		b = min
+	}
+	if b > max {
+		b = max
+	}
+	lt.budget = b
+	lt.recomputed = time.Now()
+	gHedgeBudget.Set(b.Seconds())
+	return b
+}

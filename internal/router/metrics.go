@@ -1,0 +1,34 @@
+package router
+
+import "copa/internal/obs"
+
+// Pre-resolved observability handles for the front tier. Registered at
+// package init (metricnames_test.go lints the names); none of these
+// allocate on the request path.
+var (
+	// Request flow, split by priority class at admission.
+	mRequests        = obs.C("copa.router.requests")
+	mRequestSeconds  = obs.T("copa.router.request_seconds")
+	mAdmitInteract   = obs.C("copa.router.admitted_interactive")
+	mAdmitBatch      = obs.C("copa.router.admitted_batch")
+	mShedInteractive = obs.C("copa.router.shed_interactive")
+	mShedBatch       = obs.C("copa.router.shed_batch")
+	mShedDraining    = obs.C("copa.router.shed_draining")
+	mBadRequests     = obs.C("copa.router.bad_requests")
+
+	// Hedging and failover.
+	mHedges        = obs.C("copa.router.hedges")
+	mHedgeWins     = obs.C("copa.router.hedge_wins")
+	mRetries       = obs.C("copa.router.retries")
+	mBackendErrors = obs.C("copa.router.backend_errors")
+	mExhausted     = obs.C("copa.router.backends_exhausted")
+
+	// Backend pool.
+	mBackendSeconds   = obs.T("copa.router.backend_seconds")
+	mBackendDown      = obs.C("copa.router.backend_down")
+	mBackendRecovered = obs.C("copa.router.backend_recovered")
+	gBackends         = obs.G("copa.router.backends")
+	gBackendsHealthy  = obs.G("copa.router.backends_healthy")
+	gInflight         = obs.G("copa.router.inflight")
+	gHedgeBudget      = obs.G("copa.router.hedge_budget_seconds")
+)

@@ -1,0 +1,8 @@
+//go:build race
+
+package router
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation slows everything ~10×; latency/throughput
+// assertions are skipped under it.
+const raceEnabled = true

@@ -1,0 +1,109 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("http://backend-%d:9000", i)
+	}
+	return ids
+}
+
+// TestRingDeterministic: the ring is a pure function of (ids, vnodes),
+// so every router replica computes the same home shard for a key —
+// the property that lets multiple coparouters front one fleet.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing(ringIDs(5), defaultVnodes)
+	b := buildRing(ringIDs(5), defaultVnodes)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("4x2|421|%d|0|none|2|0|false", i)
+		if !reflect.DeepEqual(a.preference(key), b.preference(key)) {
+			t.Fatalf("rings disagree on %q", key)
+		}
+	}
+}
+
+// TestRingPreferenceCoversAll: every preference list is a permutation
+// of all backends — the hedge/failover chain can always exhaust the
+// pool.
+func TestRingPreferenceCoversAll(t *testing.T) {
+	r := buildRing(ringIDs(7), defaultVnodes)
+	for i := 0; i < 50; i++ {
+		prefs := r.preference(fmt.Sprintf("key-%d", i))
+		if len(prefs) != 7 {
+			t.Fatalf("preference has %d entries, want 7", len(prefs))
+		}
+		seen := map[int]bool{}
+		for _, p := range prefs {
+			if seen[p] {
+				t.Fatalf("backend %d repeated in preference %v", p, prefs)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingBalance: with 128 vnodes per backend, shard occupancy over
+// many keys should stay within ~35% of the mean — uneven enough to be
+// real consistent hashing, even enough that no single LRU cache takes
+// a disproportionate share of the key space.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 5, 20000
+	r := buildRing(ringIDs(backends), defaultVnodes)
+	counts := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.preference(fmt.Sprintf("4x2|421|%d|1|default|%d|0|true", i, i%4))[0]]++
+	}
+	mean := float64(keys) / backends
+	for i, c := range counts {
+		if dev := float64(c)/mean - 1; dev > 0.35 || dev < -0.35 {
+			t.Errorf("backend %d owns %d keys (%.0f%% of mean); distribution %v",
+				i, c, 100*float64(c)/mean, counts)
+		}
+	}
+}
+
+// TestRingMembershipStability: removing one backend must remap only
+// the keys it owned; every other key keeps its home shard, so a
+// leave/join invalidates ~1/N of the fleet's warm cache, not all of
+// it.
+func TestRingMembershipStability(t *testing.T) {
+	ids := ringIDs(6)
+	before := buildRing(ids, defaultVnodes)
+	after := buildRing(ids[:5], defaultVnodes) // backend-5 leaves
+
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("shard-key-%d", i)
+		b := before.preference(key)[0]
+		a := after.preference(key)[0]
+		if b == 5 {
+			// Orphaned keys must land on their old second preference:
+			// exactly the backend hedges were already warming.
+			if want := before.preference(key)[1]; a != want {
+				t.Fatalf("orphaned key %q moved to %d, want old runner-up %d", key, a, want)
+			}
+			moved++
+			continue
+		}
+		if a != b {
+			t.Fatalf("key %q moved %d→%d though its home backend never left", key, b, a)
+		}
+	}
+	if frac := float64(moved) / keys; frac < 0.08 || frac > 0.30 {
+		t.Errorf("removal of 1/6 backends moved %.1f%% of keys, want roughly 1/6", 100*frac)
+	}
+}
+
+func TestRingSingleBackend(t *testing.T) {
+	r := buildRing(ringIDs(1), defaultVnodes)
+	if got := r.preference("anything"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-backend preference = %v", got)
+	}
+}

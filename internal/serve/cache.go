@@ -7,10 +7,23 @@ import "container/list"
 // with its own mutex so a cache hit costs one lock, one map lookup and
 // one list splice, none of which allocate (the zero-steady-state-alloc
 // contract BenchmarkServeAllocateCached pins).
+//
+// The cache also keeps its own cumulative hit/miss/eviction counts.
+// The package-level obs counters aggregate across every Server in the
+// process; these instance counts are what /v1/healthz reports, so a
+// router fronting N copaserve shards can read each shard's cache
+// occupancy and balance from its health probe alone. The counts are
+// plain integers mutated under the Server mutex and mirrored into the
+// copa.serve.cache.* gauges (atomic stores — the hit path stays
+// allocation-free).
 type lruCache struct {
 	max   int
 	ll    *list.List // front = most recently used
 	items map[key]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // lruEntry is one cached result with its key for reverse eviction.
@@ -32,8 +45,12 @@ func newLRUCache(max int) *lruCache {
 func (c *lruCache) get(k key) (*Result, bool) {
 	e, ok := c.items[k]
 	if !ok {
+		c.misses++
+		gCacheMisses.Set(float64(c.misses))
 		return nil, false
 	}
+	c.hits++
+	gCacheHits.Set(float64(c.hits))
 	c.ll.MoveToFront(e)
 	return e.Value.(*lruEntry).res, true
 }
@@ -54,9 +71,33 @@ func (c *lruCache) put(k key, res *Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).k)
+		c.evictions++
+		gCacheEvictions.Set(float64(c.evictions))
 		mCacheEvictions.Inc()
 	}
+	gCacheEntries.Set(float64(len(c.items)))
 }
 
 // len returns the number of cached entries.
 func (c *lruCache) len() int { return len(c.items) }
+
+// CacheStats is one cache's cumulative and point-in-time reading —
+// the per-shard numbers a fronting router observes shard balance with.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// stats snapshots the cache counters; callers hold the Server mutex.
+func (c *lruCache) stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.items),
+		Capacity:  c.max,
+	}
+}

@@ -23,6 +23,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -339,6 +340,25 @@ func validUntil(epoch int64, bucket int, coherence time.Duration) time.Duration 
 	return time.Duration(epoch)*coherence + channel.BucketStart(bucket+1, coherence, AgeBuckets)
 }
 
+// ShardKey renders req's full result-cache identity — every field of
+// the internal cache key, with the session time already normalized
+// into (epoch, ageBucket) exactly as keyFor does — as a deterministic
+// string. It is the contract between this cache and a consistent-hash
+// front tier: two requests that would share a cache entry here produce
+// equal shard keys, so a router hashing ShardKey routes them to the
+// same backend and the fleet's caches shard instead of duplicating.
+// A non-positive coherence uses the default the server itself defaults
+// to, keeping router and backend bucketing aligned.
+func ShardKey(req Request, coherence time.Duration) string {
+	if coherence <= 0 {
+		coherence = strategy.DefaultCoherence
+	}
+	epoch, bucket := sessionEpoch(req, coherence)
+	return fmt.Sprintf("%s|%d|%d|%d|%v|%d|%d|%t",
+		req.Scenario.Name, req.Scenario.APAntennas*100+req.Scenario.ClientAntennas*10+req.Scenario.Streams,
+		req.Seed, req.Mode, req.Impairments, bucket, epoch, req.MultiDecoder)
+}
+
 // Allocate serves one request: result cache first, then in-flight
 // deduplication, then the admission queue and the evaluator pool. The
 // returned bool reports whether the result was served without a
@@ -603,13 +623,17 @@ func evaluateWorld(ws *precoding.Workspace, req Request, bucket int, epoch int64
 }
 
 // Stats is a point-in-time operational reading for health endpoints.
+// Cache carries the full per-shard cache reading (hits, misses,
+// evictions, entries) a fronting router uses to observe shard balance;
+// CacheEntries/CacheCap remain as flat duplicates for older probes.
 type Stats struct {
-	Workers      int  `json:"workers"`
-	QueueDepth   int  `json:"queue_depth"`
-	QueueCap     int  `json:"queue_cap"`
-	CacheEntries int  `json:"cache_entries"`
-	CacheCap     int  `json:"cache_cap"`
-	Draining     bool `json:"draining"`
+	Workers      int        `json:"workers"`
+	QueueDepth   int        `json:"queue_depth"`
+	QueueCap     int        `json:"queue_cap"`
+	CacheEntries int        `json:"cache_entries"`
+	CacheCap     int        `json:"cache_cap"`
+	Cache        CacheStats `json:"cache"`
+	Draining     bool       `json:"draining"`
 }
 
 // Stats reports the server's current operational state.
@@ -622,6 +646,7 @@ func (s *Server) Stats() Stats {
 		QueueCap:     cap(s.queue),
 		CacheEntries: s.cache.len(),
 		CacheCap:     s.cache.max,
+		Cache:        s.cache.stats(),
 		Draining:     s.closed,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	// facade does not re-export, so the lint sees the whole registry.
 	_ "copa/internal/campaign"
 	_ "copa/internal/medium"
+	_ "copa/internal/router"
 )
 
 // metricNameRE is the repo's metric naming convention: dot-separated
@@ -29,6 +30,36 @@ func TestMetricNameLint(t *testing.T) {
 	for _, n := range names {
 		if !metricNameRE.MatchString(n) {
 			t.Errorf("metric %q violates naming convention %s", n, metricNameRE)
+		}
+	}
+
+	// The front tier's and the serve cache's metric families must stay
+	// registered under their documented prefixes — dashboards and the
+	// router smoke test's healthz greps depend on these exact names.
+	registered := make(map[string]bool, len(names))
+	for _, n := range names {
+		registered[n] = true
+	}
+	for _, want := range []string{
+		"copa.router.requests",
+		"copa.router.admitted_interactive",
+		"copa.router.admitted_batch",
+		"copa.router.shed_interactive",
+		"copa.router.shed_batch",
+		"copa.router.hedges",
+		"copa.router.hedge_wins",
+		"copa.router.hedge_budget_seconds",
+		"copa.router.retries",
+		"copa.router.backends_exhausted",
+		"copa.router.backends_healthy",
+		"copa.router.inflight",
+		"copa.serve.cache.hits",
+		"copa.serve.cache.misses",
+		"copa.serve.cache.evictions",
+		"copa.serve.cache.entries",
+	} {
+		if !registered[want] {
+			t.Errorf("metric %q is not registered", want)
 		}
 	}
 }

@@ -1,0 +1,112 @@
+package copa
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"copa/internal/api"
+	"copa/internal/router"
+	"copa/internal/serve"
+)
+
+// inprocTransport serves backend requests by calling the handler
+// directly — no sockets, so the benchmark measures the router's own
+// per-request cost (shard-key parse, ring walk, hedging machinery,
+// body forwarding), not the kernel's.
+type inprocTransport struct{ h http.Handler }
+
+func (t inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// BenchmarkRouterCachedHit times the front tier's steady state: a
+// warm-cache allocation proxied through the full router path —
+// admission, shard-key decode, consistent-hash preference, one backend
+// attempt, verbatim body forward. Allocations per op are deterministic
+// (fixed hedge budget, no health loop, in-process backend) and gated
+// by copabench next to the backend's own zero-alloc cache hit.
+func BenchmarkRouterCachedHit(b *testing.B) {
+	srv := serve.New(serve.Config{Workers: 1, Coherence: time.Hour})
+	defer srv.Close()
+	backend := api.NewHandler(srv)
+
+	rt, err := router.New(router.Config{
+		Backends:       []string{"http://backend-a:1", "http://backend-b:1"},
+		Coherence:      time.Hour,
+		HedgeBudget:    10 * time.Second, // fixed: no adaptive recompute in the loop
+		HealthInterval: -1,               // no probe goroutine
+		Transport:      inprocTransport{h: backend},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	front := rt.Handler()
+
+	const body = `{"scenario":"4x2","seed":11,"mode":"max"}`
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "http://router/v1/allocate", strings.NewReader(body))
+		req.Header.Set("Content-Type", api.ContentTypeJSON)
+		rec := httptest.NewRecorder()
+		front.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	// Prime the backend cache, then collect the setup garbage so a GC
+	// cycle mid-loop does not bill its allocations to the steady state.
+	for i := 0; i < 2; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("priming request: status %d", code)
+		}
+	}
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchmarkWireBinaryRoundTrip times one encode+decode of an
+// allocation request and its response through the compact binary
+// codec — the marshal cost a latency-sensitive client pays instead of
+// JSON (compare BenchmarkRouterCachedHit's JSON path).
+func BenchmarkWireBinaryRoundTrip(b *testing.B) {
+	req := api.AllocateRequest{Scenario: "4x2", Seed: 11, Mode: "max", Impairments: "default", CSIAgeMS: 3}
+	resp := api.AllocateResponse{
+		Cached:    true,
+		AgeBucket: 1,
+		Selected:  api.Outcome{Strategy: "Conc-Null", Concurrent: true, AggregateBps: 3e6},
+		Outcomes: map[string]api.Outcome{
+			"CSMA":      {Strategy: "CSMA", AggregateBps: 1e6},
+			"Conc-Null": {Strategy: "Conc-Null", Concurrent: true, AggregateBps: 3e6},
+			"Conc-SDA":  {Strategy: "Conc-SDA", Concurrent: true, SDA: true, AggregateBps: 2.5e6},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb, err := api.EncodeRequestBinary(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := api.DecodeRequestBinary(eb); err != nil {
+			b.Fatal(err)
+		}
+		rb, err := api.EncodeResponseBinary(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := api.DecodeResponseBinary(rb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+#!/bin/sh
+# router_smoke.sh — sharded front-tier smoke test (DESIGN §15).
+#
+# Boots three real copaserve backends and one coparouter over loopback,
+# then proves the tier's three contracts end to end:
+#
+#   1. Byte identity: canonical cached responses fetched through the
+#      router cmp equal to the same responses fetched from a single
+#      copaserve directly — the router forwards backend bytes verbatim
+#      and sharding never changes an answer.
+#   2. Loss-free degradation: mixed-priority load keeps running while
+#      one of the three backends is killed mid-run; copaload exits
+#      non-zero if any accepted interactive request fails.
+#   3. The router's health endpoint converges to 2/3 healthy backends
+#      after the kill.
+set -eu
+
+DIR="$(mktemp -d)"
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$DIR"' EXIT INT TERM
+
+echo "router-smoke: building binaries"
+go build -o "$DIR/copaserve" ./cmd/copaserve
+go build -o "$DIR/coparouter" ./cmd/coparouter
+go build -o "$DIR/copaload" ./cmd/copaload
+
+# fetch <url>: GET with whichever of curl/wget exists.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# await_file <path>: wait for an -addr-file handshake.
+await_file() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        [ $i -gt 300 ] && { echo "router-smoke: $1 never appeared" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+echo "router-smoke: starting 3 copaserve backends"
+BACKENDS=""
+for n in 1 2 3; do
+    "$DIR/copaserve" -listen 127.0.0.1:0 -addr-file "$DIR/b$n.url" -workers 2 &
+    PIDS="$PIDS $!"
+    eval "B${n}_PID=$!"
+done
+for n in 1 2 3; do
+    await_file "$DIR/b$n.url"
+    url="$(cat "$DIR/b$n.url")"
+    BACKENDS="${BACKENDS:+$BACKENDS,}$url"
+done
+
+echo "router-smoke: starting coparouter over $BACKENDS"
+"$DIR/coparouter" -listen 127.0.0.1:0 -addr-file "$DIR/router.url" \
+    -backends "$BACKENDS" -health-interval 100ms &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+await_file "$DIR/router.url"
+ROUTER="$(cat "$DIR/router.url")"
+
+echo "router-smoke: byte-identity cmp (router vs direct backend)"
+# The same distinct keys, dumped twice: once through the router (keys
+# shard across all three caches), once direct from backend 1. Cached
+# responses must be byte-identical — worlds are deterministic and the
+# router forwards backend bytes verbatim.
+"$DIR/copaload" -backends "$ROUTER" -canon-out "$DIR/canon-router" -distinct 12
+"$DIR/copaload" -backends "$(cat "$DIR/b1.url")" -canon-out "$DIR/canon-direct" -distinct 12
+cmp "$DIR/canon-router" "$DIR/canon-direct" || {
+    echo "router-smoke: ROUTED RESPONSES DIFFER FROM DIRECT COPASERVE" >&2
+    exit 1
+}
+
+echo "router-smoke: mixed-priority load with a mid-run backend kill"
+"$DIR/copaload" -backends "$ROUTER" -n 400 -clients 8 -batch-fraction 0.25 \
+    -distinct 24 > "$DIR/load.json" &
+LOAD_PID=$!
+sleep 1
+echo "router-smoke: killing backend 3 (SIGKILL — no graceful drain)"
+kill -9 "$B3_PID"
+wait "$LOAD_PID" || {
+    echo "router-smoke: INTERACTIVE REQUESTS LOST DURING BACKEND KILL" >&2
+    cat "$DIR/load.json" >&2
+    exit 1
+}
+cat "$DIR/load.json"
+
+echo "router-smoke: waiting for the router to mark the dead backend down"
+i=0
+until fetch "$ROUTER/v1/healthz" 2>/dev/null | grep -q '"healthy":2'; do
+    i=$((i + 1))
+    [ $i -gt 100 ] && { echo "router-smoke: router never saw the backend die" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "router-smoke: post-kill traffic still loss-free on 2/3 backends"
+"$DIR/copaload" -backends "$ROUTER" -n 100 -clients 4 -distinct 24 > "$DIR/load2.json" || {
+    echo "router-smoke: REQUESTS FAILED AFTER BACKEND LOSS" >&2
+    cat "$DIR/load2.json" >&2
+    exit 1
+}
+
+echo "router-smoke: PASS"
